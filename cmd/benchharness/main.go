@@ -1,0 +1,49 @@
+// Command benchharness regenerates the paper's evaluation artifacts: the
+// measured versions of Table 1 and Table 2 and the theorem-shape
+// experiments E1–E9 (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	benchharness [-exp all|T1|T2|E1..E9] [-quick] [-seed N] [-list]
+//
+// Full sweeps take a few minutes; -quick shrinks them to seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcover/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchharness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E9)")
+		quick = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
+		seed  = flag.Int64("seed", 42, "workload generation seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-3s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	tables, err := bench.Run(*exp, bench.Config{Quick: *quick, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"distcover/internal/hypergraph"
+)
+
+// jsonBuffer adapts bytes.Buffer for auditExact's round trip through the
+// public Instance JSON form.
+type jsonBuffer struct {
+	data bytes.Buffer
+}
+
+func (b *jsonBuffer) Write(p []byte) (int, error) { return b.data.Write(p) }
+
+// readHypergraph re-parses the instance into the internal representation
+// the exact solver operates on.
+func readHypergraph(data bytes.Buffer) (*hypergraph.Hypergraph, error) {
+	return hypergraph.ReadFrom(&data)
+}
+
+// generate builds a synthetic instance per the -gen flags and writes its
+// JSON to w.
+func generate(w io.Writer, kind string, n, m, f int, maxW int64, seed int64) error {
+	cfg := hypergraph.GenConfig{Seed: seed, MaxWeight: maxW, Dist: hypergraph.WeightUniformRange}
+	if maxW <= 1 {
+		cfg.Dist = hypergraph.WeightUniformOne
+	}
+	var (
+		g   *hypergraph.Hypergraph
+		err error
+	)
+	switch kind {
+	case "uniform":
+		g, err = hypergraph.UniformRandom(n, m, f, cfg)
+	case "regular":
+		d := 2 * f
+		if n > 0 && m > 0 {
+			d = m * f / n
+			if d < 1 {
+				d = 1
+			}
+		}
+		g, err = hypergraph.RegularLike(n, d, f, cfg)
+	case "graph":
+		g, err = hypergraph.RandomGraph(n, m, cfg)
+	case "star":
+		g, err = hypergraph.Star(n, f, maxW)
+	case "lollipop":
+		g, err = hypergraph.Lollipop(n, maxW)
+	case "powerlaw":
+		g, err = hypergraph.PowerLaw(n, m, f, cfg)
+	case "geompath":
+		g, err = hypergraph.GeometricPath(n, 1, 1.5, maxW)
+	default:
+		return fmt.Errorf("unknown -gen kind %q (uniform, regular, graph, star, lollipop, powerlaw, geompath)", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := g.WriteTo(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}

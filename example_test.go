@@ -1,0 +1,73 @@
+package distcover_test
+
+import (
+	"fmt"
+	"log"
+
+	"distcover"
+)
+
+// ExampleSolve covers a triangle with weighted vertices.
+func ExampleSolve() {
+	inst, err := distcover.NewInstance(
+		[]int64{1, 2, 3},
+		[][]int{{0, 1}, {1, 2}, {0, 2}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := distcover.Solve(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cover:", sol.Cover)
+	fmt.Println("weight:", sol.Weight)
+	fmt.Println("is cover:", inst.IsCover(sol.Cover))
+	// Output:
+	// cover: [0 1]
+	// weight: 3
+	// is cover: true
+}
+
+// ExampleSolve_setCover solves a weighted set cover instance: the chosen
+// set indices come back as the cover.
+func ExampleSolve_setCover() {
+	inst, err := distcover.NewSetCoverInstance(
+		3,                            // elements 0, 1, 2
+		[][]int{{0, 1}, {1, 2}, {2}}, // candidate sets
+		[]int64{3, 4, 1},             // costs
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := distcover.Solve(inst, distcover.WithEpsilon(0.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("chosen sets:", sol.Cover)
+	fmt.Println("covers all elements:", inst.IsCover(sol.Cover))
+	// Output:
+	// chosen sets: [0 2]
+	// covers all elements: true
+}
+
+// ExampleSolveILP solves a small covering integer program through the
+// paper's reduction pipeline.
+func ExampleSolveILP() {
+	p := distcover.NewILP([]int64{2, 3})
+	if err := p.AddConstraint([]int{0, 1}, []int64{2, 1}, 4); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.AddConstraint([]int{0, 1}, []int64{1, 3}, 3); err != nil {
+		log.Fatal(err)
+	}
+	sol, err := distcover.SolveILP(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", p.IsFeasible(sol.X))
+	fmt.Println("value matches:", sol.Value == p.Value(sol.X))
+	// Output:
+	// feasible: true
+	// value matches: true
+}

@@ -1,0 +1,155 @@
+// Package baseline provides the comparison algorithms that Tables 1 and 2
+// of the paper cite, so the tables can be regenerated with measured rounds
+// and ratios: distributed primal-dual baselines live in the kvy, kmw and
+// local subpackages; this package holds their shared result type and the
+// centralized quality references (greedy set cover and the sequential
+// Bar-Yehuda–Even local-ratio f-approximation).
+package baseline
+
+import (
+	"container/heap"
+	"math"
+
+	"distcover/internal/hypergraph"
+)
+
+// Result is the common outcome type for all baselines.
+type Result struct {
+	// Cover is the computed vertex cover, ascending.
+	Cover []hypergraph.VertexID
+	// InCover is the indicator vector.
+	InCover []bool
+	// CoverWeight is w(Cover).
+	CoverWeight int64
+	// Dual holds final dual variables for primal-dual baselines (nil for
+	// greedy, which certifies nothing).
+	Dual []float64
+	// DualValue is Σδ.
+	DualValue float64
+	// Iterations counts algorithm iterations; Rounds the CONGEST rounds
+	// they correspond to (0 for centralized references).
+	Iterations int
+	Rounds     int
+}
+
+// Finalize derives Cover/CoverWeight/DualValue from InCover and Dual.
+func (r *Result) Finalize(g *hypergraph.Hypergraph) {
+	r.Cover = r.Cover[:0]
+	r.CoverWeight = 0
+	for v, in := range r.InCover {
+		if in {
+			r.Cover = append(r.Cover, hypergraph.VertexID(v))
+			r.CoverWeight += g.Weight(hypergraph.VertexID(v))
+		}
+	}
+	r.DualValue = 0
+	for _, d := range r.Dual {
+		r.DualValue += d
+	}
+}
+
+// Greedy computes the classical weighted greedy set cover: repeatedly take
+// the vertex minimizing weight per newly covered edge. H_m-approximate;
+// centralized. It is the quality reference line in the regenerated tables.
+func Greedy(g *hypergraph.Hypergraph) *Result {
+	res := &Result{InCover: make([]bool, g.NumVertices())}
+	covered := make([]bool, g.NumEdges())
+	gain := make([]int, g.NumVertices()) // uncovered incident edges
+	remaining := g.NumEdges()
+	pq := &greedyHeap{}
+	for v := 0; v < g.NumVertices(); v++ {
+		gain[v] = g.Degree(hypergraph.VertexID(v))
+		if gain[v] > 0 {
+			heap.Push(pq, greedyItem{v: hypergraph.VertexID(v), gain: gain[v],
+				ratio: float64(g.Weight(hypergraph.VertexID(v))) / float64(gain[v])})
+		}
+	}
+	for remaining > 0 && pq.Len() > 0 {
+		item := heap.Pop(pq).(greedyItem)
+		v := item.v
+		if res.InCover[v] || item.gain != gain[v] {
+			// Stale entry: reinsert with the current gain if still useful.
+			if !res.InCover[v] && gain[v] > 0 {
+				heap.Push(pq, greedyItem{v: v, gain: gain[v],
+					ratio: float64(g.Weight(v)) / float64(gain[v])})
+			}
+			continue
+		}
+		res.InCover[v] = true
+		for _, e := range g.Incident(v) {
+			if covered[e] {
+				continue
+			}
+			covered[e] = true
+			remaining--
+			for _, u := range g.Edge(e) {
+				gain[u]--
+			}
+		}
+	}
+	res.Finalize(g)
+	return res
+}
+
+type greedyItem struct {
+	v     hypergraph.VertexID
+	gain  int
+	ratio float64
+}
+
+type greedyHeap []greedyItem
+
+func (h greedyHeap) Len() int            { return len(h) }
+func (h greedyHeap) Less(i, j int) bool  { return h[i].ratio < h[j].ratio }
+func (h greedyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *greedyHeap) Push(x interface{}) { *h = append(*h, x.(greedyItem)) }
+func (h *greedyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BarYehudaEven computes the sequential local-ratio f-approximation:
+// process edges in order, raise δ(e) to the minimum residual slack of its
+// vertices, and take all zero-slack vertices. It produces a feasible dual
+// certifying w(C) ≤ f·Σδ ≤ f·OPT.
+func BarYehudaEven(g *hypergraph.Hypergraph) *Result {
+	res := &Result{
+		InCover: make([]bool, g.NumVertices()),
+		Dual:    make([]float64, g.NumEdges()),
+	}
+	slack := make([]float64, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		slack[v] = float64(g.Weight(hypergraph.VertexID(v)))
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		vs := g.Edge(hypergraph.EdgeID(e))
+		stabbed := false
+		for _, v := range vs {
+			if res.InCover[v] {
+				stabbed = true
+				break
+			}
+		}
+		if stabbed {
+			continue
+		}
+		raise := math.Inf(1)
+		for _, v := range vs {
+			if slack[v] < raise {
+				raise = slack[v]
+			}
+		}
+		res.Dual[e] = raise
+		for _, v := range vs {
+			slack[v] -= raise
+			if slack[v] <= 0 {
+				res.InCover[v] = true
+			}
+		}
+	}
+	res.Finalize(g)
+	return res
+}

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distcover/internal/hypergraph"
+	"distcover/internal/lp"
+)
+
+func TestGreedyTriangle(t *testing.T) {
+	g := hypergraph.MustNew([]int64{1, 2, 3},
+		[][]hypergraph.VertexID{{0, 1}, {1, 2}, {0, 2}})
+	res := Greedy(g)
+	if !g.IsCover(res.Cover) {
+		t.Fatal("greedy returned non-cover")
+	}
+	if res.CoverWeight > 3 {
+		t.Errorf("greedy weight = %d, expected ≤ 3 on triangle", res.CoverWeight)
+	}
+}
+
+func TestGreedyStar(t *testing.T) {
+	g, err := hypergraph.Star(20, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Greedy(g)
+	if res.CoverWeight != 1 {
+		t.Errorf("greedy on star = %d, want 1 (the center)", res.CoverWeight)
+	}
+}
+
+func TestGreedyLogApproximation(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(10, 15, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 8})
+		if err != nil {
+			return false
+		}
+		res := Greedy(g)
+		if !g.IsCover(res.Cover) {
+			return false
+		}
+		_, opt, err := lp.ExactCover(g, 0)
+		if err != nil {
+			return false
+		}
+		// H_m bound: greedy ≤ (ln m + 1)·OPT.
+		bound := (math.Log(float64(g.NumEdges())) + 1) * float64(opt)
+		return float64(res.CoverWeight) <= bound+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyEdgeless(t *testing.T) {
+	g := hypergraph.MustNew([]int64{1, 2}, nil)
+	res := Greedy(g)
+	if len(res.Cover) != 0 {
+		t.Errorf("greedy on edgeless graph picked %v", res.Cover)
+	}
+}
+
+func TestBarYehudaEvenFApproximation(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(12, 18, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 9})
+		if err != nil {
+			return false
+		}
+		res := BarYehudaEven(g)
+		if !g.IsCover(res.Cover) {
+			return false
+		}
+		// Dual feasible and certificate holds: w(C) ≤ f·Σδ.
+		if err := lp.CheckEdgePacking(g, res.Dual, 1e-9); err != nil {
+			return false
+		}
+		f := float64(g.Rank())
+		if float64(res.CoverWeight) > f*res.DualValue*(1+1e-9) {
+			return false
+		}
+		// And against the true optimum.
+		_, opt, err := lp.ExactCover(g, 0)
+		if err != nil {
+			return false
+		}
+		return float64(res.CoverWeight) <= f*float64(opt)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	g := hypergraph.MustNew([]int64{4, 6}, [][]hypergraph.VertexID{{0, 1}})
+	res := &Result{InCover: []bool{true, false}, Dual: []float64{2.5}}
+	res.Finalize(g)
+	res.Finalize(g)
+	if res.CoverWeight != 4 || res.DualValue != 2.5 || len(res.Cover) != 1 {
+		t.Errorf("Finalize broken: %+v", res)
+	}
+}

@@ -1,0 +1,77 @@
+package kmw
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distcover/internal/hypergraph"
+	"distcover/internal/lp"
+)
+
+func TestRunGuarantees(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(30, 60, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightExponential, MaxWeight: 1 << 10})
+		if err != nil {
+			return false
+		}
+		res, err := Run(g, 0.5)
+		if err != nil {
+			return false
+		}
+		if !g.IsCover(res.Cover) {
+			return false
+		}
+		if err := lp.CheckEdgePacking(g, res.Dual, 1e-9); err != nil {
+			return false
+		}
+		bound := (float64(g.Rank()) + 0.5) * res.DualValue
+		return float64(res.CoverWeight) <= bound*(1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBadEpsilon(t *testing.T) {
+	g := hypergraph.MustNew([]int64{1, 1}, [][]hypergraph.VertexID{{0, 1}})
+	if _, err := Run(g, 0); !errors.Is(err, ErrBadEpsilon) {
+		t.Errorf("err = %v, want ErrBadEpsilon", err)
+	}
+}
+
+func TestRoundsGrowWithWeightSpread(t *testing.T) {
+	// The defining property: rounds increase with W at fixed topology.
+	build := func(maxW int64) *hypergraph.Hypergraph {
+		g, err := hypergraph.UniformRandom(150, 400, 2,
+			hypergraph.GenConfig{Seed: 7, Dist: hypergraph.WeightExponential, MaxWeight: maxW})
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	narrow, err := Run(build(1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(build(1<<20), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Rounds <= narrow.Rounds {
+		t.Errorf("rounds(W=2^20)=%d not larger than rounds(W=1)=%d",
+			wide.Rounds, narrow.Rounds)
+	}
+}
+
+func TestRunEdgeless(t *testing.T) {
+	g := hypergraph.MustNew([]int64{3}, nil)
+	res, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cover) != 0 {
+		t.Errorf("edgeless result: %+v", res)
+	}
+}

@@ -1,0 +1,76 @@
+package kvy
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distcover/internal/hypergraph"
+	"distcover/internal/lp"
+)
+
+func TestRunGuarantees(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(30, 60, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 20})
+		if err != nil {
+			return false
+		}
+		res, err := Run(g, 0.5)
+		if err != nil {
+			return false
+		}
+		if !g.IsCover(res.Cover) {
+			return false
+		}
+		if err := lp.CheckEdgePacking(g, res.Dual, 1e-9); err != nil {
+			return false
+		}
+		// (f+ε) certificate.
+		bound := (float64(g.Rank()) + 0.5) * res.DualValue
+		return float64(res.CoverWeight) <= bound*(1+1e-9) && res.Rounds == 2*res.Iterations
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBadEpsilon(t *testing.T) {
+	g := hypergraph.MustNew([]int64{1, 1}, [][]hypergraph.VertexID{{0, 1}})
+	for _, eps := range []float64{0, -1, 1.5} {
+		if _, err := Run(g, eps); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("Run(ε=%g) err = %v, want ErrBadEpsilon", eps, err)
+		}
+	}
+}
+
+func TestRunEdgeless(t *testing.T) {
+	g := hypergraph.MustNew([]int64{3}, nil)
+	res, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cover) != 0 || res.Iterations != 0 {
+		t.Errorf("edgeless result: %+v", res)
+	}
+}
+
+func TestRoundsGrowWithEpsilonShrinking(t *testing.T) {
+	// Smaller ε requires tighter vertices, hence more iterations.
+	g, err := hypergraph.UniformRandom(200, 500, 3,
+		hypergraph.GenConfig{Seed: 4, Dist: hypergraph.WeightUniformRange, MaxWeight: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(g, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Rounds < loose.Rounds {
+		t.Errorf("rounds(ε=0.01)=%d < rounds(ε=1)=%d", tight.Rounds, loose.Rounds)
+	}
+}

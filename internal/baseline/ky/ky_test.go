@@ -1,0 +1,71 @@
+package ky
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distcover/internal/hypergraph"
+	"distcover/internal/lp"
+)
+
+func TestRunGuarantees(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(30, 60, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 25})
+		if err != nil {
+			return false
+		}
+		res, err := Run(g, 0.5, seed)
+		if err != nil {
+			return false
+		}
+		if !g.IsCover(res.Cover) {
+			return false
+		}
+		if err := lp.CheckEdgePacking(g, res.Dual, 1e-9); err != nil {
+			return false
+		}
+		bound := (float64(g.Rank()) + 0.5) * res.DualValue
+		return float64(res.CoverWeight) <= bound*(1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	g, err := hypergraph.UniformRandom(40, 80, 2, hypergraph.GenConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(g, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoverWeight != b.CoverWeight || a.Iterations != b.Iterations {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestRunBadEpsilon(t *testing.T) {
+	g := hypergraph.MustNew([]int64{1, 1}, [][]hypergraph.VertexID{{0, 1}})
+	if _, err := Run(g, 0, 1); !errors.Is(err, ErrBadEpsilon) {
+		t.Errorf("err = %v, want ErrBadEpsilon", err)
+	}
+}
+
+func TestRunEdgeless(t *testing.T) {
+	g := hypergraph.MustNew([]int64{2}, nil)
+	res, err := Run(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cover) != 0 {
+		t.Errorf("edgeless cover: %v", res.Cover)
+	}
+}

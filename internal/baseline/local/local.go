@@ -1,0 +1,115 @@
+// Package local implements a color-by-color local-ratio f-approximation in
+// the style of Åstrand and Suomela ("Fast distributed approximation
+// algorithms for vertex cover and set cover in anonymous networks",
+// SPAA 2010) — reference [2] of the paper, whose round complexity is
+// polynomial in Δ (O(f²Δ² + fΔ·log* W)).
+//
+// The edge-conflict graph (edges sharing a vertex) is colored greedily with
+// at most f·(Δ-1)+1 colors; color classes are processed sequentially.
+// Within a class no two edges share a vertex, so each uncovered edge can
+// raise its dual to the full minimum slack of its vertices without
+// coordination, making the minimum vertex fully tight; fully tight vertices
+// join the cover. One pass covers every edge, and the 1-tight cover
+// certifies w(C) ≤ f·Σδ ≤ f·OPT (local ratio / Bar-Yehuda–Even).
+//
+// The round cost is proportional to the number of colors — the poly(Δ)
+// shape of the [2] rows in Tables 1 and 2. Greedy coloring itself is
+// simulated centrally and charged one round per color, matching the
+// standard distributed implementation's order of growth.
+package local
+
+import (
+	"distcover/internal/baseline"
+	"distcover/internal/hypergraph"
+)
+
+// Result extends the baseline result with the coloring size.
+type Result struct {
+	baseline.Result
+	// Colors is the number of edge colors used; rounds are proportional.
+	Colors int
+}
+
+// Run executes the baseline.
+func Run(g *hypergraph.Hypergraph) *Result {
+	n, m := g.NumVertices(), g.NumEdges()
+	res := &Result{Result: baseline.Result{
+		InCover: make([]bool, n),
+		Dual:    make([]float64, m),
+	}}
+	if m == 0 {
+		res.Finalize(g)
+		return res
+	}
+	// Greedy conflict coloring in edge-id order: the color of e is the
+	// smallest not used by an earlier edge sharing a vertex.
+	color := make([]int, m)
+	maxColor := 0
+	used := make(map[int]bool)
+	for e := 0; e < m; e++ {
+		for k := range used {
+			delete(used, k)
+		}
+		for _, v := range g.Edge(hypergraph.EdgeID(e)) {
+			for _, e2 := range g.Incident(v) {
+				if int(e2) < e {
+					used[color[e2]] = true
+				}
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[e] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	res.Colors = maxColor + 1
+
+	slack := make([]float64, n)
+	for v := 0; v < n; v++ {
+		slack[v] = float64(g.Weight(hypergraph.VertexID(v)))
+	}
+	covered := make([]bool, m)
+	for c := 0; c <= maxColor; c++ {
+		res.Iterations++
+		for e := 0; e < m; e++ {
+			if color[e] != c || covered[e] {
+				continue
+			}
+			vs := g.Edge(hypergraph.EdgeID(e))
+			stabbed := false
+			for _, v := range vs {
+				if res.InCover[v] {
+					stabbed = true
+					break
+				}
+			}
+			if stabbed {
+				covered[e] = true
+				continue
+			}
+			raise := -1.0
+			for _, v := range vs {
+				if raise < 0 || slack[v] < raise {
+					raise = slack[v]
+				}
+			}
+			res.Dual[e] = raise
+			for _, v := range vs {
+				slack[v] -= raise
+				if slack[v] <= 0 {
+					res.InCover[v] = true
+				}
+			}
+			covered[e] = true
+		}
+	}
+	// One round to learn the coloring per class plus two per processing
+	// step, in the spirit of the distributed implementation.
+	res.Rounds = 3 * res.Colors
+	res.Finalize(g)
+	return res
+}

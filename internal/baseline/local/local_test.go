@@ -1,0 +1,92 @@
+package local
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distcover/internal/hypergraph"
+	"distcover/internal/lp"
+)
+
+func TestRunFApproximation(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(25, 50, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 15})
+		if err != nil {
+			return false
+		}
+		res := Run(g)
+		if !g.IsCover(res.Cover) {
+			return false
+		}
+		if err := lp.CheckEdgePacking(g, res.Dual, 1e-9); err != nil {
+			return false
+		}
+		// Exact f-approximation certificate.
+		f := float64(g.Rank())
+		return float64(res.CoverWeight) <= f*res.DualValue*(1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorsBounded(t *testing.T) {
+	g, err := hypergraph.UniformRandom(40, 100, 3, hypergraph.GenConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(g)
+	// Greedy coloring of the edge conflict graph uses ≤ f·(Δ-1)+1 colors.
+	bound := g.Rank()*(g.MaxDegree()-1) + 1
+	if res.Colors > bound {
+		t.Errorf("colors = %d exceeds f(Δ-1)+1 = %d", res.Colors, bound)
+	}
+	if res.Rounds != 3*res.Colors {
+		t.Errorf("rounds = %d, want 3·colors = %d", res.Rounds, 3*res.Colors)
+	}
+}
+
+func TestRoundsGrowWithDelta(t *testing.T) {
+	// poly(Δ) rounds: a high-degree star forces ~Δ colors.
+	small, err := hypergraph.Star(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := hypergraph.Star(64, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, rBig := Run(small), Run(big)
+	if rBig.Colors <= rSmall.Colors {
+		t.Errorf("colors did not grow with Δ: %d vs %d", rSmall.Colors, rBig.Colors)
+	}
+	if rBig.Colors < 64 {
+		t.Errorf("star with Δ=64 needs ≥ 64 colors, got %d", rBig.Colors)
+	}
+}
+
+func TestRunEdgeless(t *testing.T) {
+	g := hypergraph.MustNew([]int64{3}, nil)
+	res := Run(g)
+	if len(res.Cover) != 0 || res.Colors != 0 {
+		t.Errorf("edgeless result: %+v", res)
+	}
+}
+
+func TestStarWithinFOfOptimum(t *testing.T) {
+	// Unit-weight star: OPT = 1 (the center). The first processed edge
+	// tightens both endpoints (equal weights), so local ratio pays 2 —
+	// exactly its f·OPT worst case for f = 2.
+	g, err := hypergraph.Star(10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(g)
+	if res.CoverWeight > 2 {
+		t.Errorf("star cover weight = %d, want ≤ f·OPT = 2", res.CoverWeight)
+	}
+	if !g.IsCover(res.Cover) {
+		t.Error("star not covered")
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 42} }
+
+func TestRegistryRunsAllQuick(t *testing.T) {
+	for _, exp := range Registry() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tables, err := exp.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s returned no tables", exp.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s table %q has no rows", exp.ID, tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Errorf("%s table %q row width %d != header %d",
+							exp.ID, tab.Title, len(row), len(tab.Header))
+					}
+				}
+				var buf bytes.Buffer
+				tab.Fprint(&buf)
+				if !strings.Contains(buf.String(), tab.ID) {
+					t.Errorf("printed table missing id header")
+				}
+			}
+		})
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if _, err := Run("T1", quickCfg()); err != nil {
+		t.Errorf("Run(T1): %v", err)
+	}
+	if _, err := Run("t1", quickCfg()); err != nil {
+		t.Errorf("Run is not case-insensitive: %v", err)
+	}
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if ids := IDs(); len(ids) != len(Registry()) {
+		t.Errorf("IDs() returned %d, want %d", len(ids), len(Registry()))
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, err := Run("all", quickCfg())
+	if err != nil {
+		t.Fatalf("Run(all): %v", err)
+	}
+	if len(tables) < len(Registry()) {
+		t.Errorf("Run(all) returned %d tables for %d experiments", len(tables), len(Registry()))
+	}
+}
+
+// TestTable1GuaranteesHold parses the printed ratio column and asserts the
+// certified guarantee of every algorithm row.
+func TestTable1GuaranteesHold(t *testing.T) {
+	tables, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	ratioCol := len(tab.Header) - 1
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[ratioCol], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q: %v", row[ratioCol], err)
+		}
+		limit := 3.0 + 1e-6 // worst guarantee in the table is 2+ε with ε=1
+		if strings.HasPrefix(row[0], "greedy") {
+			limit = 20 // H_m reference line, not a primal-dual certificate
+		}
+		if ratio > limit {
+			t.Errorf("%s: certified ratio %f exceeds %f", row[0], ratio, limit)
+		}
+	}
+}
+
+// TestE2WeightIndependence asserts the headline claim on the regenerated
+// table: our rounds flat in W, KMW-style increasing.
+func TestE2WeightIndependence(t *testing.T) {
+	tables, err := RoundsVsW(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	oursFirst, _ := strconv.Atoi(first[1])
+	oursLast, _ := strconv.Atoi(last[1])
+	kmwFirst, _ := strconv.Atoi(first[3])
+	kmwLast, _ := strconv.Atoi(last[3])
+	// Ours may drift by small constants; KMW must grow markedly.
+	if oursLast > 3*oursFirst+8 {
+		t.Errorf("our rounds grew with W: %d -> %d", oursFirst, oursLast)
+	}
+	if kmwLast <= kmwFirst {
+		t.Errorf("KMW rounds did not grow with W: %d -> %d", kmwFirst, kmwLast)
+	}
+}
+
+// TestE6SingleLevelColumn asserts Corollary 21 on the regenerated table.
+func TestE6SingleLevelColumn(t *testing.T) {
+	tables, err := VariantComparison(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	col := len(tab.Header) - 1
+	for _, row := range tab.Rows {
+		v, err := strconv.Atoi(row[col])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 1 {
+			t.Errorf("single-level max increment = %d > 1", v)
+		}
+	}
+}

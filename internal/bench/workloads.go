@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"distcover/internal/hypergraph"
+)
+
+// workload is a named instance family member.
+type workload struct {
+	name string
+	g    *hypergraph.Hypergraph
+}
+
+// graphFamily builds random f-uniform hypergraphs with controlled degree d
+// across a sweep of sizes.
+func graphFamily(sizes []int, d, f int, dist hypergraph.WeightDist, maxW int64, seed int64) ([]workload, error) {
+	var out []workload
+	for _, n := range sizes {
+		g, err := hypergraph.RegularLike(n, d, f, hypergraph.GenConfig{
+			Seed: seed + int64(n), Dist: dist, MaxWeight: maxW,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: workload n=%d: %w", n, err)
+		}
+		out = append(out, workload{name: fmt.Sprintf("n=%d", n), g: g})
+	}
+	return out, nil
+}
+
+// starFamily builds stars with growing Δ — the canonical hard instances for
+// degree-dependent bounds.
+func starFamily(deltas []int, f int, centerWeight int64) ([]workload, error) {
+	var out []workload
+	for _, d := range deltas {
+		g, err := hypergraph.Star(d, f, centerWeight)
+		if err != nil {
+			return nil, fmt.Errorf("bench: star Δ=%d: %w", d, err)
+		}
+		out = append(out, workload{name: fmt.Sprintf("Δ=%d", d), g: g})
+	}
+	return out, nil
+}
+
+// pick returns quick when cfg.Quick, else full.
+func pick[T any](cfg Config, full, quick T) T {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}

@@ -1,0 +1,113 @@
+package congest
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ParallelEngine runs every node as its own goroutine; the coordinator
+// distributes inboxes over per-node channels, waits on the round barrier,
+// and merges outboxes in node-id order so results are identical to
+// SequentialEngine (verified by tests).
+type ParallelEngine struct{}
+
+var _ Engine = ParallelEngine{}
+
+type stepReq struct {
+	round int
+	inbox []Envelope
+}
+
+type stepRes struct {
+	out  Outbox
+	done bool
+}
+
+// Run implements Engine.
+func (ParallelEngine) Run(nw *Network, opts Options) (Metrics, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := nw.NumNodes()
+	var (
+		metrics Metrics
+		inboxes = make([][]Envelope, n)
+		next    = make([][]Envelope, n)
+		done    = make([]bool, n)
+		remain  = n
+		reqs    = make([]chan stepReq, n)
+		ress    = make([]chan stepRes, n)
+		wg      sync.WaitGroup
+	)
+	for id := 0; id < n; id++ {
+		reqs[id] = make(chan stepReq)
+		ress[id] = make(chan stepRes, 1)
+		wg.Add(1)
+		go func(id int, node Node) {
+			defer wg.Done()
+			for req := range reqs[id] {
+				var res stepRes
+				res.done = node.Step(req.round, req.inbox, &res.out)
+				ress[id] <- res
+			}
+		}(id, nw.nodes[id])
+	}
+	stop := func() {
+		for _, ch := range reqs {
+			close(ch)
+		}
+		wg.Wait()
+	}
+	defer stop()
+
+	results := make([]*stepRes, n)
+	for round := 0; remain > 0; round++ {
+		if round >= maxRounds {
+			return metrics, fmt.Errorf("%w: %d rounds, %d nodes still active",
+				ErrRoundLimit, maxRounds, remain)
+		}
+		metrics.Rounds = round + 1
+		// Fan out: every active node computes its step concurrently.
+		for id := 0; id < n; id++ {
+			if done[id] {
+				continue
+			}
+			inbox := inboxes[id]
+			inboxes[id] = nil
+			sortInbox(inbox)
+			reqs[id] <- stepReq{round: round, inbox: inbox}
+		}
+		// Barrier: collect all results, then deliver in id order for
+		// determinism.
+		for id := 0; id < n; id++ {
+			if done[id] {
+				results[id] = nil
+				continue
+			}
+			res := <-ress[id]
+			results[id] = &res
+		}
+		var roundMsgs int64
+		for id := 0; id < n; id++ {
+			res := results[id]
+			if res == nil {
+				continue
+			}
+			if err := deliver(nw, NodeID(id), &res.out, next, done, opts, &metrics, &roundMsgs); err != nil {
+				return metrics, err
+			}
+		}
+		for id := 0; id < n; id++ {
+			if results[id] != nil && results[id].done {
+				done[id] = true
+				remain--
+			}
+		}
+		if roundMsgs > metrics.MaxRoundMessages {
+			metrics.MaxRoundMessages = roundMsgs
+		}
+		inboxes, next = next, inboxes
+	}
+	return metrics, nil
+}

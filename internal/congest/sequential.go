@@ -1,0 +1,119 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SequentialEngine executes all nodes in id order within each round. Runs
+// are fully deterministic: inboxes are sorted by sender id before delivery.
+type SequentialEngine struct{}
+
+var _ Engine = SequentialEngine{}
+
+// Run implements Engine.
+func (SequentialEngine) Run(nw *Network, opts Options) (Metrics, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := nw.NumNodes()
+	var (
+		metrics Metrics
+		inboxes = make([][]Envelope, n)
+		next    = make([][]Envelope, n)
+		done    = make([]bool, n)
+		remain  = n
+	)
+	var out Outbox
+	for round := 0; remain > 0; round++ {
+		if round >= maxRounds {
+			return metrics, fmt.Errorf("%w: %d rounds, %d nodes still active",
+				ErrRoundLimit, maxRounds, remain)
+		}
+		metrics.Rounds = round + 1
+		var roundMsgs int64
+		for id := 0; id < n; id++ {
+			inbox := inboxes[id]
+			inboxes[id] = nil
+			if done[id] {
+				continue
+			}
+			sortInbox(inbox)
+			out.sends = out.sends[:0]
+			nodeDone := nw.nodes[id].Step(round, inbox, &out)
+			if err := deliver(nw, NodeID(id), &out, next, done, opts, &metrics, &roundMsgs); err != nil {
+				return metrics, err
+			}
+			if nodeDone {
+				done[id] = true
+				remain--
+			}
+		}
+		if roundMsgs > metrics.MaxRoundMessages {
+			metrics.MaxRoundMessages = roundMsgs
+		}
+		inboxes, next = next, inboxes
+	}
+	return metrics, nil
+}
+
+// deliver validates and moves one node's outbox into the next-round inboxes.
+func deliver(nw *Network, from NodeID, out *Outbox, next [][]Envelope,
+	done []bool, opts Options, metrics *Metrics, roundMsgs *int64) error {
+	if opts.Validate && len(out.sends) > 1 {
+		seen := make(map[NodeID]bool, len(out.sends))
+		for _, s := range out.sends {
+			if seen[s.From] {
+				return fmt.Errorf("%w: node %d -> %d", ErrDuplicateSend, from, s.From)
+			}
+			seen[s.From] = true
+		}
+	}
+	for _, s := range out.sends {
+		to := s.From // Outbox.Send stores the destination in From
+		if !nw.valid(to) {
+			return fmt.Errorf("%w: node %d -> %d", ErrNotNeighbor, from, to)
+		}
+		if opts.Validate && !isNeighbor(nw, from, to) {
+			return fmt.Errorf("%w: node %d -> %d", ErrNotNeighbor, from, to)
+		}
+		b := s.Msg.Bits()
+		if opts.BitBudget > 0 && b > opts.BitBudget {
+			return fmt.Errorf("%w: %d bits > budget %d (node %d -> %d, %T)",
+				ErrMessageTooLarge, b, opts.BitBudget, from, to, s.Msg)
+		}
+		metrics.Messages++
+		*roundMsgs++
+		metrics.TotalBits += int64(b)
+		if b > metrics.MaxMessageBits {
+			metrics.MaxMessageBits = b
+		}
+		if done[to] {
+			continue // receiver already decided; message dropped
+		}
+		next[to] = append(next[to], Envelope{From: from, Msg: s.Msg})
+	}
+	return nil
+}
+
+func isNeighbor(nw *Network, a, b NodeID) bool {
+	// Scan the smaller adjacency list.
+	la, lb := nw.adj[a], nw.adj[b]
+	if len(lb) < len(la) {
+		a, b = b, a
+		la = nw.adj[a]
+	}
+	for _, x := range la {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInbox(in []Envelope) {
+	if len(in) > 1 {
+		sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	}
+}

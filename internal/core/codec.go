@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"distcover/internal/congest"
+)
+
+// WireCodec is the binary wire format of the Appendix B protocol messages,
+// used by congest.NetEngine to move real bytes over TCP: one tag byte plus
+// unsigned varints for the integer fields and a flag byte for booleans.
+// Encoded sizes track the Bits() accounting within the varint byte
+// rounding, which the conformance tests verify.
+type WireCodec struct{}
+
+var _ congest.Codec = WireCodec{}
+
+// Message tags.
+const (
+	tagVertexInfo byte = iota + 1
+	tagEdgeInit
+	tagVertexUpdate
+	tagVertexCovered
+	tagEdgeUpdate
+	tagEdgeCovered
+)
+
+// ErrBadWireMessage reports a frame that does not decode.
+var ErrBadWireMessage = errors.New("core: malformed wire message")
+
+// Encode implements congest.Codec.
+func (WireCodec) Encode(m congest.Message) ([]byte, error) {
+	switch msg := m.(type) {
+	case msgVertexInfo:
+		buf := []byte{tagVertexInfo}
+		buf = binary.AppendUvarint(buf, uint64(msg.w))
+		buf = binary.AppendUvarint(buf, uint64(msg.deg))
+		return buf, nil
+	case msgEdgeInit:
+		buf := []byte{tagEdgeInit}
+		buf = binary.AppendUvarint(buf, uint64(msg.wMin))
+		buf = binary.AppendUvarint(buf, uint64(msg.degMin))
+		buf = binary.AppendUvarint(buf, uint64(msg.localDelta))
+		return buf, nil
+	case msgVertexUpdate:
+		buf := []byte{tagVertexUpdate}
+		buf = binary.AppendUvarint(buf, uint64(msg.inc))
+		buf = append(buf, boolByte(msg.raise))
+		return buf, nil
+	case msgVertexCovered:
+		return []byte{tagVertexCovered}, nil
+	case msgEdgeUpdate:
+		buf := []byte{tagEdgeUpdate}
+		buf = binary.AppendUvarint(buf, uint64(msg.halvings))
+		buf = append(buf, boolByte(msg.raised))
+		return buf, nil
+	case msgEdgeCovered:
+		return []byte{tagEdgeCovered}, nil
+	default:
+		return nil, fmt.Errorf("core: cannot encode message type %T", m)
+	}
+}
+
+// Decode implements congest.Codec.
+func (WireCodec) Decode(data []byte) (congest.Message, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadWireMessage)
+	}
+	body := data[1:]
+	switch data[0] {
+	case tagVertexInfo:
+		w, n1 := binary.Uvarint(body)
+		if n1 <= 0 {
+			return nil, fmt.Errorf("%w: vertexInfo w", ErrBadWireMessage)
+		}
+		deg, n2 := binary.Uvarint(body[n1:])
+		if n2 <= 0 {
+			return nil, fmt.Errorf("%w: vertexInfo deg", ErrBadWireMessage)
+		}
+		return msgVertexInfo{w: int64(w), deg: int64(deg)}, nil
+	case tagEdgeInit:
+		wMin, n1 := binary.Uvarint(body)
+		if n1 <= 0 {
+			return nil, fmt.Errorf("%w: edgeInit wMin", ErrBadWireMessage)
+		}
+		degMin, n2 := binary.Uvarint(body[n1:])
+		if n2 <= 0 {
+			return nil, fmt.Errorf("%w: edgeInit degMin", ErrBadWireMessage)
+		}
+		localDelta, n3 := binary.Uvarint(body[n1+n2:])
+		if n3 <= 0 {
+			return nil, fmt.Errorf("%w: edgeInit localDelta", ErrBadWireMessage)
+		}
+		return msgEdgeInit{wMin: int64(wMin), degMin: int64(degMin), localDelta: int64(localDelta)}, nil
+	case tagVertexUpdate:
+		inc, n1 := binary.Uvarint(body)
+		if n1 <= 0 || len(body) != n1+1 {
+			return nil, fmt.Errorf("%w: vertexUpdate", ErrBadWireMessage)
+		}
+		return msgVertexUpdate{inc: int64(inc), raise: body[n1] == 1}, nil
+	case tagVertexCovered:
+		return msgVertexCovered{}, nil
+	case tagEdgeUpdate:
+		halvings, n1 := binary.Uvarint(body)
+		if n1 <= 0 || len(body) != n1+1 {
+			return nil, fmt.Errorf("%w: edgeUpdate", ErrBadWireMessage)
+		}
+		return msgEdgeUpdate{halvings: int64(halvings), raised: body[n1] == 1}, nil
+	case tagEdgeCovered:
+		return msgEdgeCovered{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadWireMessage, data[0])
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

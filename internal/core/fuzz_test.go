@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzWireCodecDecode throws arbitrary bytes at the wire decoder: it must
+// never panic, and anything it accepts must re-encode to a decodable frame
+// describing the same message.
+func FuzzWireCodecDecode(f *testing.F) {
+	codec := WireCodec{}
+	for _, m := range []interface{ Bits() int }{
+		msgVertexInfo{w: 100, deg: 3},
+		msgEdgeInit{wMin: 7, degMin: 2, localDelta: 9},
+		msgVertexUpdate{inc: 1, raise: true},
+		msgVertexCovered{},
+		msgEdgeUpdate{halvings: 2, raised: false},
+		msgEdgeCovered{},
+	} {
+		data, err := codec.Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := codec.Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadWireMessage) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		re, err := codec.Encode(msg)
+		if err != nil {
+			t.Fatalf("accepted message fails re-encode: %v", err)
+		}
+		back, err := codec.Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if back != msg {
+			t.Fatalf("round trip changed message: %#v vs %#v", msg, back)
+		}
+	})
+}

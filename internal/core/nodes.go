@@ -1,0 +1,447 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"distcover/internal/congest"
+	"distcover/internal/hypergraph"
+)
+
+// This file implements the Appendix B CONGEST execution of Algorithm MWHVC.
+// The communication network is bipartite: vertex nodes 0..n-1 and edge
+// nodes n..n+m-1, one link per incidence (Section 2). Vertices act on even
+// rounds and edges on odd rounds, so one algorithm iteration costs exactly
+// two CONGEST rounds after the two-round iteration 0:
+//
+//	round 0 (v→e): (w(v), |E(v)|)                      — O(log n) bits
+//	round 1 (e→v): (w(ve), |E(ve)|, Δ(e))              — O(log n) bits
+//	round 2i (v→e): "covered" | (level increments, raise/stuck)
+//	round 2i+1 (e→v): "edge covered" | (halvings, raised bit)
+//
+// Both endpoints mirror bid(e) and δ(e) locally, so only increments and
+// single bits cross links, as in the paper. The arithmetic is the same
+// float64 code the lockstep runner uses; tests assert the two paths agree
+// exactly, including summation order (ascending edge id everywhere).
+
+// ErrExactCongest is returned when RunCongest is asked for exact
+// arithmetic; the message protocol mirrors values as float64.
+var ErrExactCongest = errors.New("core: exact arithmetic is not supported on the congest path")
+
+// protoParams is the static configuration every node knows (the paper
+// assumes f, ε and — for the global policy — Δ are common knowledge).
+type protoParams struct {
+	f          int
+	eps        float64
+	variant    Variant
+	alpha      AlphaPolicy
+	fixedAlpha float64
+	gamma      float64
+	delta      int // global Δ, for AlphaTheorem9
+}
+
+// alphaFor resolves α for an edge whose local maximum degree is localDelta.
+func (p *protoParams) alphaFor(localDelta int) float64 {
+	switch p.alpha {
+	case AlphaLocal:
+		return AlphaTheorem9Value(p.f, p.eps, localDelta, p.gamma)
+	case AlphaFixed:
+		return p.fixedAlpha
+	default:
+		return AlphaTheorem9Value(p.f, p.eps, p.delta, p.gamma)
+	}
+}
+
+// Protocol messages. Sizes follow the encodings discussed in Appendix B.
+
+type msgVertexInfo struct {
+	w, deg int64
+}
+
+func (m msgVertexInfo) Bits() int { return congest.IntBits(m.w) + congest.IntBits(m.deg) }
+
+type msgEdgeInit struct {
+	wMin, degMin int64
+	localDelta   int64
+}
+
+func (m msgEdgeInit) Bits() int {
+	return congest.IntBits(m.wMin) + congest.IntBits(m.degMin) + congest.IntBits(m.localDelta)
+}
+
+type msgVertexUpdate struct {
+	inc   int64
+	raise bool
+}
+
+func (m msgVertexUpdate) Bits() int { return congest.IntBits(m.inc) + 1 }
+
+type msgVertexCovered struct{}
+
+func (msgVertexCovered) Bits() int { return 1 }
+
+type msgEdgeUpdate struct {
+	halvings int64
+	raised   bool
+}
+
+func (m msgEdgeUpdate) Bits() int { return congest.IntBits(m.halvings) + 1 }
+
+type msgEdgeCovered struct{}
+
+func (msgEdgeCovered) Bits() int { return 1 }
+
+// vertexNode is the server-side (hypergraph vertex) state machine.
+type vertexNode struct {
+	p   *protoParams
+	num floatNumeric
+	w   int64
+
+	edges   []congest.NodeID // incident edge nodes, ascending
+	edgeIdx map[congest.NodeID]int
+
+	// Mirrors, indexed like edges.
+	bid     []float64
+	delta   []float64
+	alphaE  []float64
+	covered []bool
+
+	level    int
+	sumDelta float64
+	sumBid   float64
+	alphaV   float64
+	uncov    int
+	inCover  bool
+	inited   bool
+}
+
+func (v *vertexNode) Step(round int, inbox []congest.Envelope, out *congest.Outbox) bool {
+	if round%2 == 1 {
+		return false // edges act on odd rounds
+	}
+	if round == 0 {
+		if len(v.edges) == 0 {
+			return true // isolated vertex: terminates with empty E'(v)
+		}
+		for _, e := range v.edges {
+			out.Send(e, msgVertexInfo{w: v.w, deg: int64(len(v.edges))})
+		}
+		return false
+	}
+	v.processInbox(inbox)
+	if !v.inited {
+		// Init messages lost only if the graph is malformed; nothing to do.
+		return v.uncov == 0
+	}
+	if v.uncov == 0 {
+		return true // E'(v) = ∅: terminate without joining (step 3c)
+	}
+	// Step 3a: β-tight ⇔ (f+ε)·Σδ ≥ f·w.
+	fPlusEps := float64(v.p.f) + v.p.eps
+	if v.sumDelta*fPlusEps >= float64(v.p.f)*float64(v.w) {
+		v.inCover = true
+		for i, e := range v.edges {
+			if !v.covered[i] {
+				out.Send(e, msgVertexCovered{})
+			}
+		}
+		return true
+	}
+	// Step 3d: level increments.
+	inc := 0
+	wT := float64(v.w)
+	for v.num.Add(v.sumDelta, v.num.HalfPow(wT, v.level+1)) > wT {
+		v.level++
+		inc++
+	}
+	// Step 3e: raise/stuck, seeing bids after own halvings only.
+	view := v.num.HalfPow(v.sumBid, inc)
+	raise := v.num.Mul(v.alphaV, view) <= v.num.HalfPow(wT, v.level+1)
+	for i, e := range v.edges {
+		if !v.covered[i] {
+			out.Send(e, msgVertexUpdate{inc: int64(inc), raise: raise})
+		}
+	}
+	return false
+}
+
+// processInbox applies edge reports: initial bids (round 1 output), covered
+// notifications, and (halvings, raised) updates; then recomputes the
+// uncovered-bid aggregate in ascending edge order to match the lockstep
+// runner's float summation exactly.
+func (v *vertexNode) processInbox(inbox []congest.Envelope) {
+	if len(inbox) == 0 {
+		return
+	}
+	for _, env := range inbox {
+		i, ok := v.edgeIdx[env.From]
+		if !ok {
+			continue
+		}
+		switch m := env.Msg.(type) {
+		case msgEdgeInit:
+			b := v.num.FromRatio(m.wMin, 2*m.degMin)
+			v.bid[i] = b
+			v.delta[i] = b
+			v.sumDelta = v.num.Add(v.sumDelta, b)
+			v.alphaE[i] = v.p.alphaFor(int(m.localDelta))
+			v.inited = true
+		case msgEdgeCovered:
+			if !v.covered[i] {
+				v.covered[i] = true
+				v.uncov--
+			}
+		case msgEdgeUpdate:
+			if m.halvings > 0 {
+				v.bid[i] = v.num.HalfPow(v.bid[i], int(m.halvings))
+			}
+			if m.raised {
+				v.bid[i] = v.num.Mul(v.bid[i], v.alphaE[i])
+			}
+			add := v.bid[i]
+			if v.p.variant == VariantSingleLevel {
+				add = v.num.HalfPow(add, 1)
+			}
+			v.delta[i] = v.num.Add(v.delta[i], add)
+			v.sumDelta = v.num.Add(v.sumDelta, add)
+		}
+	}
+	v.sumBid = 0
+	v.alphaV = 2
+	for i := range v.edges {
+		if v.covered[i] {
+			continue
+		}
+		v.sumBid = v.num.Add(v.sumBid, v.bid[i])
+		if v.alphaE[i] > v.alphaV {
+			v.alphaV = v.alphaE[i]
+		}
+	}
+}
+
+// edgeNode is the client-side (hyperedge) state machine.
+type edgeNode struct {
+	p   *protoParams
+	num floatNumeric
+
+	verts []congest.NodeID // member vertex nodes, ascending
+
+	w, deg []int64 // member info collected in round 0
+	bid    float64
+	delta  float64
+	alphaE float64
+	iters  int // edge phases executed (for Result.Iterations)
+}
+
+func (e *edgeNode) Step(round int, inbox []congest.Envelope, out *congest.Outbox) bool {
+	if round%2 == 0 {
+		return false // vertices act on even rounds
+	}
+	if round == 1 {
+		return e.initPhase(inbox, out)
+	}
+	e.iters++
+	covered := false
+	var halvings int64
+	allRaise := true
+	for _, env := range inbox {
+		switch m := env.Msg.(type) {
+		case msgVertexCovered:
+			covered = true
+		case msgVertexUpdate:
+			halvings += m.inc
+			if !m.raise {
+				allRaise = false
+			}
+		}
+	}
+	if covered {
+		// Steps 3b: announce and terminate. Vertices that joined the cover
+		// have already terminated; sends to them are dropped by the engine.
+		for _, v := range e.verts {
+			out.Send(v, msgEdgeCovered{})
+		}
+		return true
+	}
+	if halvings > 0 {
+		e.bid = e.num.HalfPow(e.bid, int(halvings))
+	}
+	if allRaise {
+		e.bid = e.num.Mul(e.bid, e.alphaE)
+	}
+	add := e.bid
+	if e.p.variant == VariantSingleLevel {
+		add = e.num.HalfPow(add, 1)
+	}
+	e.delta = e.num.Add(e.delta, add)
+	for _, v := range e.verts {
+		out.Send(v, msgEdgeUpdate{halvings: halvings, raised: allRaise})
+	}
+	return false
+}
+
+// initPhase runs iteration 0 on the edge side: collect (w, deg) from every
+// member, pick the minimum normalized weight with the deterministic integer
+// tie-break, set bid(e) = w(ve)/(2·|E(ve)|), and report it with the local
+// maximum degree.
+func (e *edgeNode) initPhase(inbox []congest.Envelope, out *congest.Outbox) bool {
+	e.w = make([]int64, len(e.verts))
+	e.deg = make([]int64, len(e.verts))
+	for _, env := range inbox {
+		for i, v := range e.verts { // f is small; linear scan is fine
+			if v == env.From {
+				if m, ok := env.Msg.(msgVertexInfo); ok {
+					e.w[i] = m.w
+					e.deg[i] = m.deg
+				}
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < len(e.verts); i++ {
+		// argmin w/deg, ties to the lower vertex id (ascending order).
+		if e.w[i]*e.deg[best] < e.w[best]*e.deg[i] {
+			best = i
+		}
+	}
+	localDelta := int64(0)
+	for _, d := range e.deg {
+		if d > localDelta {
+			localDelta = d
+		}
+	}
+	e.bid = e.num.FromRatio(e.w[best], 2*e.deg[best])
+	e.delta = e.bid
+	e.alphaE = e.p.alphaFor(int(localDelta))
+	for _, v := range e.verts {
+		out.Send(v, msgEdgeInit{wMin: e.w[best], degMin: e.deg[best], localDelta: localDelta})
+	}
+	return false
+}
+
+// BuildNetwork constructs the bipartite CONGEST network for g: vertex nodes
+// 0..n-1, edge nodes n..n+m-1, one link per incidence. It returns the
+// network plus the node handles used to extract the result after a run.
+func BuildNetwork(g *hypergraph.Hypergraph, opts Options) (*congest.Network, []*vertexNode, []*edgeNode, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, nil, nil, err
+	}
+	if opts.Exact {
+		return nil, nil, nil, ErrExactCongest
+	}
+	p := &protoParams{
+		f:          maxInt(g.Rank(), 1),
+		eps:        opts.Epsilon,
+		variant:    opts.Variant,
+		alpha:      opts.Alpha,
+		fixedAlpha: opts.FixedAlpha,
+		gamma:      opts.Gamma,
+		delta:      g.MaxDegree(),
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+	nw := congest.NewNetwork()
+	vnodes := make([]*vertexNode, n)
+	for v := 0; v < n; v++ {
+		vn := &vertexNode{
+			p:       p,
+			w:       g.Weight(hypergraph.VertexID(v)),
+			edgeIdx: make(map[congest.NodeID]int, g.Degree(hypergraph.VertexID(v))),
+		}
+		vnodes[v] = vn
+		nw.AddNode(vn)
+	}
+	enodes := make([]*edgeNode, m)
+	for e := 0; e < m; e++ {
+		en := &edgeNode{p: p}
+		enodes[e] = en
+		id := nw.AddNode(en)
+		for _, v := range g.Edge(hypergraph.EdgeID(e)) {
+			if err := nw.Connect(congest.NodeID(v), id); err != nil {
+				return nil, nil, nil, fmt.Errorf("core: build network: %w", err)
+			}
+			en.verts = append(en.verts, congest.NodeID(v))
+			vn := vnodes[v]
+			vn.edges = append(vn.edges, id)
+		}
+		sort.Slice(en.verts, func(i, j int) bool { return en.verts[i] < en.verts[j] })
+	}
+	for _, vn := range vnodes {
+		sort.Slice(vn.edges, func(i, j int) bool { return vn.edges[i] < vn.edges[j] })
+		k := len(vn.edges)
+		vn.bid = make([]float64, k)
+		vn.delta = make([]float64, k)
+		vn.alphaE = make([]float64, k)
+		vn.covered = make([]bool, k)
+		vn.uncov = k
+		for i, e := range vn.edges {
+			vn.edgeIdx[e] = i
+		}
+	}
+	return nw, vnodes, enodes, nil
+}
+
+// RunCongest executes the protocol on the given engine and returns the
+// algorithm result together with the engine's CONGEST metrics. A zero
+// congestOpts gets the standard O(log(n+m)) bit budget and validation.
+func RunCongest(g *hypergraph.Hypergraph, opts Options, eng congest.Engine, congestOpts congest.Options) (*Result, congest.Metrics, error) {
+	nw, vnodes, enodes, err := BuildNetwork(g, opts)
+	if err != nil {
+		return nil, congest.Metrics{}, err
+	}
+	if congestOpts.BitBudget == 0 {
+		congestOpts.BitBudget = congest.LogBudget(nw.NumNodes())
+	}
+	if congestOpts.MaxRounds == 0 {
+		congestOpts.MaxRounds = 4 * congest.DefaultMaxRounds
+	}
+	metrics, err := eng.Run(nw, congestOpts)
+	if err != nil {
+		return nil, metrics, fmt.Errorf("core: congest run: %w", err)
+	}
+	// Re-resolve derived parameters exactly as Run does.
+	resolved := opts
+	if err := resolved.validate(g); err != nil {
+		return nil, metrics, err
+	}
+	res := &Result{
+		Z:       ZLevels(maxInt(g.Rank(), 1), resolved.Epsilon),
+		Epsilon: resolved.Epsilon,
+		Rounds:  metrics.Rounds,
+		InCover: make([]bool, g.NumVertices()),
+		Dual:    make([]float64, g.NumEdges()),
+	}
+	if opts.Alpha != AlphaLocal {
+		if opts.Alpha == AlphaFixed {
+			res.Alpha = opts.FixedAlpha
+		} else {
+			res.Alpha = AlphaTheorem9Value(maxInt(g.Rank(), 1), resolved.Epsilon, g.MaxDegree(), resolved.Gamma)
+		}
+	}
+	for v, vn := range vnodes {
+		if vn.inCover {
+			res.InCover[v] = true
+			res.Cover = append(res.Cover, hypergraph.VertexID(v))
+			res.CoverWeight += g.Weight(hypergraph.VertexID(v))
+		}
+		if vn.level > res.MaxLevel {
+			res.MaxLevel = vn.level
+		}
+	}
+	for e, en := range enodes {
+		res.Dual[e] = en.delta
+		res.DualValue += en.delta
+		if en.iters > res.Iterations {
+			res.Iterations = en.iters
+		}
+	}
+	if res.DualValue > 0 {
+		res.RatioBound = float64(res.CoverWeight) / res.DualValue
+	} else if res.CoverWeight == 0 {
+		res.RatioBound = 1
+	} else {
+		res.RatioBound = math.Inf(1)
+	}
+	return res, metrics, nil
+}

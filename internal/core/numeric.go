@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"math/big"
+)
+
+// numeric abstracts the arithmetic the runner performs on bids and duals so
+// the same code runs in fast float64 mode and in exact big.Rat mode. All
+// operations are value-semantics: implementations must not mutate their
+// inputs (rats are shared between edges and vertex sums).
+type numeric[T any] interface {
+	// FromRatio returns num/den exactly.
+	FromRatio(num, den int64) T
+	// FromFloat converts a float64 (exact in rat mode).
+	FromFloat(f float64) T
+	// Zero returns 0.
+	Zero() T
+	// Add returns a+b.
+	Add(a, b T) T
+	// Mul returns a·b.
+	Mul(a, b T) T
+	// HalfPow returns a·2^-k for k ≥ 0.
+	HalfPow(a T, k int) T
+	// Cmp compares: -1 if a < b, 0 if equal, +1 if a > b.
+	Cmp(a, b T) int
+	// Float converts to float64 for reporting.
+	Float(a T) float64
+	// IntegerAlpha reports whether α must be rounded up to an integer to
+	// keep values as small rationals (true in exact mode).
+	IntegerAlpha() bool
+}
+
+// floatNumeric is the fast default arithmetic.
+type floatNumeric struct{}
+
+var _ numeric[float64] = floatNumeric{}
+
+func (floatNumeric) FromRatio(num, den int64) float64 { return float64(num) / float64(den) }
+func (floatNumeric) FromFloat(f float64) float64      { return f }
+func (floatNumeric) Zero() float64                    { return 0 }
+func (floatNumeric) Add(a, b float64) float64         { return a + b }
+func (floatNumeric) Mul(a, b float64) float64         { return a * b }
+func (floatNumeric) HalfPow(a float64, k int) float64 { return a * math.Pow(0.5, float64(k)) }
+func (floatNumeric) IntegerAlpha() bool               { return false }
+
+func (floatNumeric) Cmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (floatNumeric) Float(a float64) float64 { return a }
+
+// ratNumeric is the exact arithmetic used by property tests. Values are
+// *big.Rat treated as immutable.
+type ratNumeric struct {
+	half *big.Rat
+}
+
+var _ numeric[*big.Rat] = ratNumeric{}
+
+func newRatNumeric() ratNumeric {
+	return ratNumeric{half: big.NewRat(1, 2)}
+}
+
+func (ratNumeric) FromRatio(num, den int64) *big.Rat { return big.NewRat(num, den) }
+
+func (ratNumeric) FromFloat(f float64) *big.Rat {
+	if r := new(big.Rat).SetFloat64(f); r != nil {
+		return r
+	}
+	// NaN/Inf cannot occur for validated options; fall back to zero.
+	return new(big.Rat)
+}
+
+func (ratNumeric) Zero() *big.Rat { return new(big.Rat) }
+
+func (ratNumeric) Add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+
+func (ratNumeric) Mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+
+func (n ratNumeric) HalfPow(a *big.Rat, k int) *big.Rat {
+	out := new(big.Rat).Set(a)
+	for i := 0; i < k; i++ {
+		out.Mul(out, n.half)
+	}
+	return out
+}
+
+func (ratNumeric) Cmp(a, b *big.Rat) int { return a.Cmp(b) }
+
+func (ratNumeric) Float(a *big.Rat) float64 {
+	f, _ := a.Float64()
+	return f
+}
+
+func (ratNumeric) IntegerAlpha() bool { return true }

@@ -1,0 +1,41 @@
+package hypergraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJSONDecode throws arbitrary bytes at the instance decoder: it must
+// never panic, and anything it accepts must validate and round-trip.
+func FuzzJSONDecode(f *testing.F) {
+	f.Add([]byte(`{"weights":[1,2],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"weights":[],"edges":[]}`))
+	f.Add([]byte(`{"weights":[5],"edges":[[0],[0]]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"weights":[0],"edges":[[9]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Hypergraph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected; fine
+		}
+		if err := Validate(&g); err != nil {
+			t.Fatalf("accepted instance fails Validate: %v", err)
+		}
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("accepted instance fails Marshal: %v", err)
+		}
+		var g2 Hypergraph
+		if err := json.Unmarshal(out, &g2); err != nil {
+			t.Fatalf("re-encoded instance rejected: %v", err)
+		}
+		out2, err := json.Marshal(&g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package hypergraph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPath(t *testing.T) {
+	g, err := Path([]int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.Rank() != 2 || g.MaxDegree() != 2 {
+		t.Errorf("path shape wrong: %s", g)
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 1 {
+		t.Error("endpoints should have degree 1")
+	}
+	if _, err := Path([]int64{1}); err == nil {
+		t.Error("single-vertex path accepted")
+	}
+}
+
+func TestGeometricPath(t *testing.T) {
+	g, err := GeometricPath(10, 1, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights double along the path.
+	for i := 0; i+1 < 10; i++ {
+		if g.Weight(VertexID(i+1)) != 2*g.Weight(VertexID(i)) {
+			t.Fatalf("weights not geometric at %d: %d then %d",
+				i, g.Weight(VertexID(i)), g.Weight(VertexID(i+1)))
+		}
+	}
+	// Cap applies.
+	capped, err := GeometricPath(40, 1, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.MaxWeight() != 1000 {
+		t.Errorf("cap not applied: max = %d", capped.MaxWeight())
+	}
+	if _, err := GeometricPath(2, 1, 0.5, 10); err == nil {
+		t.Error("shrinking ratio accepted")
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g, err := Lollipop(16, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() != 16 {
+		t.Errorf("Δ = %d, want 16", g.MaxDegree())
+	}
+	if g.NumEdges() != 16 || g.NumVertices() != 17 {
+		t.Errorf("shape = (%d,%d), want (17,16)", g.NumVertices(), g.NumEdges())
+	}
+	// Vertex 0 (a) covers everything.
+	if !g.IsCover([]VertexID{0}) {
+		t.Error("hub does not cover the lollipop")
+	}
+	if _, err := Lollipop(1, 100); err == nil {
+		t.Error("delta=1 accepted")
+	}
+	if _, err := Lollipop(16, 3); err == nil {
+		t.Error("heavyWeight ≤ delta accepted")
+	}
+}
+
+func TestPowerLawHeavyTail(t *testing.T) {
+	g, err := PowerLaw(400, 1200, 3, GenConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	degrees := make([]int, g.NumVertices())
+	for v := range degrees {
+		degrees[v] = g.Degree(VertexID(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degrees)))
+	// Heavy tail: the top vertex should dominate the median by a large
+	// factor (preferential attachment concentrates degree).
+	median := degrees[len(degrees)/2]
+	if median < 1 {
+		median = 1
+	}
+	if degrees[0] < 4*median {
+		t.Errorf("degree profile not heavy-tailed: max %d vs median %d", degrees[0], median)
+	}
+	if _, err := PowerLaw(0, 1, 1, GenConfig{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package hypergraph provides the weighted-hypergraph substrate used by the
+// distributed covering algorithms: immutable hypergraph values, incidence
+// lookups, instance statistics (rank f, maximum degree Δ, weight spread W),
+// vertex-cover predicates, generators for synthetic workloads, and JSON
+// serialization.
+//
+// A hypergraph G = (V, E) has positive integer vertex weights w(v). Each
+// hyperedge is a non-empty set of distinct vertices. The rank f of G is the
+// maximum edge cardinality, and the degree of a vertex is the number of
+// incident edges; Δ is the maximum degree. These are exactly the quantities
+// the round bounds in Ben-Basat et al., "Optimal Distributed Covering
+// Algorithms" (DISC 2019), are stated in.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. Vertices are numbered 0..NumVertices-1.
+type VertexID int
+
+// EdgeID identifies a hyperedge. Edges are numbered 0..NumEdges-1.
+type EdgeID int
+
+// Hypergraph is an immutable weighted hypergraph. Construct one with a
+// Builder or a generator; the zero value is an empty hypergraph.
+type Hypergraph struct {
+	weights   []int64      // weights[v] > 0
+	edges     [][]VertexID // edges[e] = sorted distinct vertex ids
+	incidence [][]EdgeID   // incidence[v] = sorted edge ids containing v
+	rank      int          // max |edges[e]|, 0 if no edges
+	maxDegree int          // max |incidence[v]|, 0 if no edges
+}
+
+// NumVertices returns |V|.
+func (g *Hypergraph) NumVertices() int { return len(g.weights) }
+
+// NumEdges returns |E|.
+func (g *Hypergraph) NumEdges() int { return len(g.edges) }
+
+// Weight returns w(v).
+func (g *Hypergraph) Weight(v VertexID) int64 { return g.weights[v] }
+
+// Weights returns a copy of the weight vector.
+func (g *Hypergraph) Weights() []int64 {
+	out := make([]int64, len(g.weights))
+	copy(out, g.weights)
+	return out
+}
+
+// Edge returns the vertices of edge e. The returned slice must not be
+// modified; it is shared with the hypergraph to avoid copying on hot paths.
+func (g *Hypergraph) Edge(e EdgeID) []VertexID { return g.edges[e] }
+
+// EdgeCopy returns a fresh copy of the vertices of edge e.
+func (g *Hypergraph) EdgeCopy(e EdgeID) []VertexID {
+	out := make([]VertexID, len(g.edges[e]))
+	copy(out, g.edges[e])
+	return out
+}
+
+// Incident returns the edges containing v. The returned slice must not be
+// modified; it is shared with the hypergraph.
+func (g *Hypergraph) Incident(v VertexID) []EdgeID { return g.incidence[v] }
+
+// Degree returns |E(v)|, the number of edges containing v.
+func (g *Hypergraph) Degree(v VertexID) int { return len(g.incidence[v]) }
+
+// EdgeSize returns |e|.
+func (g *Hypergraph) EdgeSize(e EdgeID) int { return len(g.edges[e]) }
+
+// Rank returns f, the maximum edge cardinality (0 for an edgeless graph).
+func (g *Hypergraph) Rank() int { return g.rank }
+
+// MaxDegree returns Δ, the maximum vertex degree (0 for an edgeless graph).
+func (g *Hypergraph) MaxDegree() int { return g.maxDegree }
+
+// LocalMaxDegree returns Δ(e) = max over v in e of |E(v)|, the local maximum
+// degree used when the multiplier α is chosen per edge (Theorem 9 remark).
+func (g *Hypergraph) LocalMaxDegree(e EdgeID) int {
+	d := 0
+	for _, v := range g.edges[e] {
+		if len(g.incidence[v]) > d {
+			d = len(g.incidence[v])
+		}
+	}
+	return d
+}
+
+// MinWeight returns min_v w(v), or 0 if there are no vertices.
+func (g *Hypergraph) MinWeight() int64 {
+	if len(g.weights) == 0 {
+		return 0
+	}
+	m := g.weights[0]
+	for _, w := range g.weights[1:] {
+		if w < m {
+			m = w
+		}
+	}
+	return m
+}
+
+// MaxWeight returns max_v w(v), or 0 if there are no vertices.
+func (g *Hypergraph) MaxWeight() int64 {
+	m := int64(0)
+	for _, w := range g.weights {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// WeightSpread returns W = max w / min w rounded up, the quantity prior
+// algorithms' round bounds depend on. Returns 1 for empty graphs.
+func (g *Hypergraph) WeightSpread() int64 {
+	minW, maxW := g.MinWeight(), g.MaxWeight()
+	if minW <= 0 {
+		return 1
+	}
+	return (maxW + minW - 1) / minW
+}
+
+// TotalWeight returns Σ_v w(v).
+func (g *Hypergraph) TotalWeight() int64 {
+	var t int64
+	for _, w := range g.weights {
+		t += w
+	}
+	return t
+}
+
+// CoverWeight returns Σ_{v in cover} w(v). Vertices outside [0, n) are
+// ignored; duplicates are counted once.
+func (g *Hypergraph) CoverWeight(cover []VertexID) int64 {
+	seen := make(map[VertexID]bool, len(cover))
+	var t int64
+	for _, v := range cover {
+		if v < 0 || int(v) >= len(g.weights) || seen[v] {
+			continue
+		}
+		seen[v] = true
+		t += g.weights[v]
+	}
+	return t
+}
+
+// IsCover reports whether the given vertex set stabs every edge.
+func (g *Hypergraph) IsCover(cover []VertexID) bool {
+	in := make([]bool, len(g.weights))
+	for _, v := range cover {
+		if v >= 0 && int(v) < len(in) {
+			in[v] = true
+		}
+	}
+	for _, e := range g.edges {
+		stabbed := false
+		for _, v := range e {
+			if in[v] {
+				stabbed = true
+				break
+			}
+		}
+		if !stabbed {
+			return false
+		}
+	}
+	return true
+}
+
+// UncoveredEdges returns the edges not stabbed by the given vertex set.
+func (g *Hypergraph) UncoveredEdges(cover []VertexID) []EdgeID {
+	in := make([]bool, len(g.weights))
+	for _, v := range cover {
+		if v >= 0 && int(v) < len(in) {
+			in[v] = true
+		}
+	}
+	var out []EdgeID
+	for e, vs := range g.edges {
+		stabbed := false
+		for _, v := range vs {
+			if in[v] {
+				stabbed = true
+				break
+			}
+		}
+		if !stabbed {
+			out = append(out, EdgeID(e))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Hypergraph) Clone() *Hypergraph {
+	h := &Hypergraph{
+		weights:   make([]int64, len(g.weights)),
+		edges:     make([][]VertexID, len(g.edges)),
+		incidence: make([][]EdgeID, len(g.incidence)),
+		rank:      g.rank,
+		maxDegree: g.maxDegree,
+	}
+	copy(h.weights, g.weights)
+	for i, e := range g.edges {
+		h.edges[i] = append([]VertexID(nil), e...)
+	}
+	for i, inc := range g.incidence {
+		h.incidence[i] = append([]EdgeID(nil), inc...)
+	}
+	return h
+}
+
+// String returns a short human-readable summary.
+func (g *Hypergraph) String() string {
+	return fmt.Sprintf("hypergraph{n=%d m=%d f=%d Δ=%d W=%d}",
+		g.NumVertices(), g.NumEdges(), g.Rank(), g.MaxDegree(), g.WeightSpread())
+}
+
+// buildIncidence computes incidence lists, rank and max degree from edges.
+// It assumes edges hold sorted, distinct, in-range vertex ids.
+func (g *Hypergraph) buildIncidence() {
+	g.incidence = make([][]EdgeID, len(g.weights))
+	g.rank = 0
+	for e, vs := range g.edges {
+		if len(vs) > g.rank {
+			g.rank = len(vs)
+		}
+		for _, v := range vs {
+			g.incidence[v] = append(g.incidence[v], EdgeID(e))
+		}
+	}
+	g.maxDegree = 0
+	for _, inc := range g.incidence {
+		if len(inc) > g.maxDegree {
+			g.maxDegree = len(inc)
+		}
+	}
+}
+
+// sortedUnique returns a sorted copy of vs with duplicates removed.
+func sortedUnique(vs []VertexID) []VertexID {
+	out := append([]VertexID(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	k := 0
+	for i, v := range out {
+		if i == 0 || v != out[k-1] {
+			out[k] = v
+			k++
+		}
+	}
+	return out[:k]
+}

@@ -1,0 +1,78 @@
+package hypergraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonInstance is the on-disk JSON shape of a hypergraph instance.
+type jsonInstance struct {
+	Weights []int64 `json:"weights"`
+	Edges   [][]int `json:"edges"`
+}
+
+// MarshalJSON encodes the hypergraph as {"weights":[...],"edges":[[...]]}.
+func (g *Hypergraph) MarshalJSON() ([]byte, error) {
+	inst := jsonInstance{
+		Weights: g.Weights(),
+		Edges:   make([][]int, g.NumEdges()),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		vs := g.Edge(EdgeID(e))
+		row := make([]int, len(vs))
+		for i, v := range vs {
+			row[i] = int(v)
+		}
+		inst.Edges[e] = row
+	}
+	return json.Marshal(inst)
+}
+
+// UnmarshalJSON decodes and validates a hypergraph.
+func (g *Hypergraph) UnmarshalJSON(data []byte) error {
+	var inst jsonInstance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return fmt.Errorf("hypergraph: decode: %w", err)
+	}
+	b := NewBuilder(len(inst.Weights), len(inst.Edges))
+	for _, w := range inst.Weights {
+		b.AddVertex(w)
+	}
+	for _, row := range inst.Edges {
+		vs := make([]VertexID, len(row))
+		for i, v := range row {
+			vs[i] = VertexID(v)
+		}
+		b.AddEdge(vs...)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*g = *built
+	return nil
+}
+
+// WriteTo serializes g as JSON to w.
+func (g *Hypergraph) WriteTo(w io.Writer) (int64, error) {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadFrom parses a JSON hypergraph from r.
+func ReadFrom(r io.Reader) (*Hypergraph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: read: %w", err)
+	}
+	var g Hypergraph
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,27 @@
+package hypergraph
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegularLikeLargeIsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	start := time.Now()
+	g, err := RegularLike(100_000, 10, 2, GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Errorf("RegularLike(100k) took %v; generation should be near-linear", elapsed)
+	}
+	if g.NumEdges() < 100_000*10/2*9/10 {
+		t.Errorf("generated only %d edges, want close to %d", g.NumEdges(), 100_000*10/2)
+	}
+	if g.MaxDegree() > 10 {
+		t.Errorf("Δ = %d exceeds d = 10", g.MaxDegree())
+	}
+}

@@ -1,0 +1,118 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the structural parameters the paper's round bounds are
+// stated in terms of.
+type Stats struct {
+	NumVertices  int
+	NumEdges     int
+	Rank         int // f
+	MaxDegree    int // Δ
+	MinDegree    int // min |E(v)| over vertices with degree ≥ 1
+	MeanDegree   float64
+	MinWeight    int64
+	MaxWeight    int64
+	WeightSpread int64 // W = ceil(max/min)
+	TotalWeight  int64
+}
+
+// ComputeStats derives Stats for g.
+func ComputeStats(g *Hypergraph) Stats {
+	s := Stats{
+		NumVertices:  g.NumVertices(),
+		NumEdges:     g.NumEdges(),
+		Rank:         g.Rank(),
+		MaxDegree:    g.MaxDegree(),
+		MinWeight:    g.MinWeight(),
+		MaxWeight:    g.MaxWeight(),
+		WeightSpread: g.WeightSpread(),
+		TotalWeight:  g.TotalWeight(),
+	}
+	sum, cnt := 0, 0
+	s.MinDegree = math.MaxInt
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(VertexID(v))
+		if d == 0 {
+			continue
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		sum += d
+		cnt++
+	}
+	if cnt == 0 {
+		s.MinDegree = 0
+	} else {
+		s.MeanDegree = float64(sum) / float64(cnt)
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d f=%d Δ=%d (min %d, mean %.1f) w∈[%d,%d] W=%d",
+		s.NumVertices, s.NumEdges, s.Rank, s.MaxDegree, s.MinDegree, s.MeanDegree,
+		s.MinWeight, s.MaxWeight, s.WeightSpread)
+}
+
+// DegreeHistogram returns, for each occurring degree, the number of vertices
+// with that degree, as parallel sorted slices.
+func DegreeHistogram(g *Hypergraph) (degrees []int, counts []int) {
+	hist := make(map[int]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		hist[g.Degree(VertexID(v))]++
+	}
+	degrees = make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}
+
+// FormatDegreeHistogram renders the histogram compactly, e.g. "1:5 2:3 7:1".
+func FormatDegreeHistogram(g *Hypergraph) string {
+	degrees, counts := DegreeHistogram(g)
+	parts := make([]string, len(degrees))
+	for i := range degrees {
+		parts[i] = fmt.Sprintf("%d:%d", degrees[i], counts[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// LogDelta returns log2(Δ) clamped below at 1, the quantity appearing in the
+// paper's bounds (the paper assumes Δ ≥ 3 so that log log Δ > 0).
+func LogDelta(g *Hypergraph) float64 {
+	d := float64(g.MaxDegree())
+	if d < 2 {
+		return 1
+	}
+	return math.Log2(d)
+}
+
+// TheoreticalRoundBound evaluates the paper's headline bound
+// f·log(f/ε) + logΔ/loglogΔ + min{logΔ, f·log(f/ε)·(logΔ)^γ}
+// (without constants) for shape comparisons in the benchmarks.
+func TheoreticalRoundBound(f int, eps float64, delta int, gamma float64) float64 {
+	if f < 1 {
+		f = 1
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	logD := math.Log2(math.Max(float64(delta), 4))
+	loglogD := math.Log2(math.Max(logD, 2))
+	fz := float64(f) * math.Log2(math.Max(float64(f)/eps, 2))
+	return fz + logD/loglogD + math.Min(logD, fz*math.Pow(logD, gamma))
+}

@@ -1,0 +1,94 @@
+package hypergraph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	g := MustNew(
+		[]int64{1, 4, 2, 8},
+		[][]VertexID{{0, 1}, {0, 1, 2}, {1, 2}},
+	)
+	s := ComputeStats(g)
+	if s.NumVertices != 4 || s.NumEdges != 3 {
+		t.Errorf("shape = (%d,%d), want (4,3)", s.NumVertices, s.NumEdges)
+	}
+	if s.Rank != 3 {
+		t.Errorf("Rank = %d, want 3", s.Rank)
+	}
+	if s.MaxDegree != 3 {
+		t.Errorf("MaxDegree = %d, want 3", s.MaxDegree)
+	}
+	if s.MinDegree != 2 { // vertex 3 has degree 0 and is excluded
+		t.Errorf("MinDegree = %d, want 2", s.MinDegree)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 8 || s.WeightSpread != 8 {
+		t.Errorf("weights = [%d,%d] W=%d, want [1,8] W=8", s.MinWeight, s.MaxWeight, s.WeightSpread)
+	}
+	wantMean := (2.0 + 3.0 + 2.0) / 3.0
+	if math.Abs(s.MeanDegree-wantMean) > 1e-9 {
+		t.Errorf("MeanDegree = %f, want %f", s.MeanDegree, wantMean)
+	}
+	if !strings.Contains(s.String(), "f=3") {
+		t.Errorf("String() = %q missing f", s.String())
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	g := MustNew(nil, nil)
+	s := ComputeStats(g)
+	if s.MinDegree != 0 || s.MeanDegree != 0 {
+		t.Errorf("empty stats degrees = (%d, %f), want zeros", s.MinDegree, s.MeanDegree)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := MustNew(
+		[]int64{1, 1, 1, 1},
+		[][]VertexID{{0, 1}, {0, 2}, {0, 3}},
+	)
+	degrees, counts := DegreeHistogram(g)
+	if len(degrees) != 2 || degrees[0] != 1 || degrees[1] != 3 {
+		t.Fatalf("degrees = %v, want [1 3]", degrees)
+	}
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Errorf("counts = %v, want [3 1]", counts)
+	}
+	if got := FormatDegreeHistogram(g); got != "1:3 3:1" {
+		t.Errorf("FormatDegreeHistogram = %q, want \"1:3 3:1\"", got)
+	}
+}
+
+func TestLogDelta(t *testing.T) {
+	g, err := Star(16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LogDelta(g); math.Abs(got-4) > 1e-9 {
+		t.Errorf("LogDelta = %f, want 4", got)
+	}
+	empty := MustNew([]int64{1}, nil)
+	if got := LogDelta(empty); got != 1 {
+		t.Errorf("LogDelta(edgeless) = %f, want 1 (clamped)", got)
+	}
+}
+
+func TestTheoreticalRoundBoundMonotoneInDelta(t *testing.T) {
+	prev := 0.0
+	for _, delta := range []int{8, 64, 1024, 1 << 16, 1 << 24} {
+		b := TheoreticalRoundBound(2, 0.5, delta, 0.001)
+		if b <= 0 {
+			t.Fatalf("bound %f <= 0 at Δ=%d", b, delta)
+		}
+		if b < prev {
+			t.Errorf("bound not monotone: Δ=%d gives %f < %f", delta, b, prev)
+		}
+		prev = b
+	}
+	// Degenerate parameters must not panic or return NaN.
+	if v := TheoreticalRoundBound(0, 0, 0, 0.001); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("degenerate bound = %f", v)
+	}
+}

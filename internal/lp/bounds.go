@@ -1,0 +1,108 @@
+package lp
+
+import (
+	"fmt"
+
+	"distcover/internal/hypergraph"
+)
+
+// CheckEdgePacking verifies that δ is a feasible solution of the dual edge
+// packing LP (Appendix A): δ(e) ≥ 0 for every edge and Σ_{e∋v} δ(e) ≤ w(v)
+// for every vertex, within tol (use tol > 0 for float64-produced duals; the
+// invariants hold exactly in exact arithmetic).
+func CheckEdgePacking(g *hypergraph.Hypergraph, delta []float64, tol float64) error {
+	if len(delta) != g.NumEdges() {
+		return fmt.Errorf("lp: %d dual values for %d edges", len(delta), g.NumEdges())
+	}
+	for e, d := range delta {
+		if d < -tol {
+			return fmt.Errorf("lp: negative dual δ(%d) = %g", e, d)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		var sum float64
+		for _, e := range g.Incident(hypergraph.VertexID(v)) {
+			sum += delta[e]
+		}
+		w := float64(g.Weight(hypergraph.VertexID(v)))
+		if sum > w*(1+tol)+tol {
+			return fmt.Errorf("lp: packing violated at vertex %d: Σδ = %g > w = %g", v, sum, w)
+		}
+	}
+	return nil
+}
+
+// DualValue returns Σ_e δ(e), which by weak duality lower-bounds the optimal
+// fractional (hence integral) cover weight.
+func DualValue(delta []float64) float64 {
+	var s float64
+	for _, d := range delta {
+		s += d
+	}
+	return s
+}
+
+// GreedyDualBound computes a maximal dual edge packing sequentially: edges
+// in index order raise δ(e) to the minimum residual slack of their vertices.
+// The result is a valid lower bound on OPT; it is the centralized reference
+// bound used when an algorithm under audit does not expose its own duals.
+func GreedyDualBound(g *hypergraph.Hypergraph) float64 {
+	slack := make([]float64, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		slack[v] = float64(g.Weight(hypergraph.VertexID(v)))
+	}
+	var total float64
+	for e := 0; e < g.NumEdges(); e++ {
+		raise := -1.0
+		for _, v := range g.Edge(hypergraph.EdgeID(e)) {
+			if raise < 0 || slack[v] < raise {
+				raise = slack[v]
+			}
+		}
+		if raise <= 0 {
+			continue
+		}
+		for _, v := range g.Edge(hypergraph.EdgeID(e)) {
+			slack[v] -= raise
+		}
+		total += raise
+	}
+	return total
+}
+
+// GreedyDualBoundILP computes the analogous maximal dual for a covering ILP:
+// rows in index order raise y_i as far as the column packing constraints
+// Σ_i y_i·A_ij ≤ w_j allow; returns Σ_i y_i·b_i, a weak-duality lower bound
+// on the LP (hence ILP) optimum.
+func GreedyDualBoundILP(p *CoveringILP) float64 {
+	slack := make([]float64, p.NumVars)
+	for j, w := range p.Weights {
+		slack[j] = float64(w)
+	}
+	var total float64
+	for _, row := range p.Rows {
+		if row.B <= 0 {
+			continue
+		}
+		raise := -1.0
+		for _, t := range row.Terms {
+			if t.Coef <= 0 {
+				continue
+			}
+			r := slack[t.Col] / float64(t.Coef)
+			if raise < 0 || r < raise {
+				raise = r
+			}
+		}
+		if raise <= 0 {
+			continue
+		}
+		for _, t := range row.Terms {
+			if t.Coef > 0 {
+				slack[t.Col] -= raise * float64(t.Coef)
+			}
+		}
+		total += raise * float64(row.B)
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package lp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distcover/internal/hypergraph"
+)
+
+func TestCheckEdgePacking(t *testing.T) {
+	g := hypergraph.MustNew([]int64{2, 2, 2},
+		[][]hypergraph.VertexID{{0, 1}, {1, 2}})
+	tests := []struct {
+		name    string
+		delta   []float64
+		wantErr bool
+	}{
+		{"feasible", []float64{1, 1}, false},
+		{"tight", []float64{2, 0}, false},
+		{"violates vertex 1", []float64{1.5, 1.5}, true},
+		{"negative dual", []float64{-0.5, 1}, true},
+		{"wrong length", []float64{1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := CheckEdgePacking(g, tt.delta, 1e-9)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("CheckEdgePacking(%v) = %v, wantErr=%v", tt.delta, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDualValue(t *testing.T) {
+	if got := DualValue([]float64{1, 2.5, 0.5}); got != 4 {
+		t.Errorf("DualValue = %f, want 4", got)
+	}
+	if got := DualValue(nil); got != 0 {
+		t.Errorf("DualValue(nil) = %f, want 0", got)
+	}
+}
+
+func TestGreedyDualBoundIsValidLowerBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(10, 14, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 8})
+		if err != nil {
+			return false
+		}
+		lb := GreedyDualBound(g)
+		_, opt, err := ExactCover(g, 0)
+		if err != nil {
+			return false
+		}
+		// Weak duality: bound ≤ OPT (allow float slack), and positive when
+		// edges exist.
+		if lb > float64(opt)+1e-6 {
+			return false
+		}
+		return g.NumEdges() == 0 || lb > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyDualBoundTriangle(t *testing.T) {
+	// Unit-weight triangle: the greedy packing saturates quickly; any
+	// maximal packing value is between 1 and OPT=2.
+	g := hypergraph.MustNew([]int64{1, 1, 1},
+		[][]hypergraph.VertexID{{0, 1}, {1, 2}, {0, 2}})
+	lb := GreedyDualBound(g)
+	if lb < 1 || lb > 2 {
+		t.Errorf("triangle bound = %f, want within [1,2]", lb)
+	}
+}
+
+func TestGreedyDualBoundILPValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(8, 10, 2,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 5})
+		if err != nil {
+			return false
+		}
+		p := FromHypergraph(g)
+		lb := GreedyDualBoundILP(p)
+		_, opt, err := ExactILP(p, 0)
+		if err != nil {
+			return false
+		}
+		return lb <= float64(opt)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyDualBoundILPGeneral(t *testing.T) {
+	p := sample()
+	lb := GreedyDualBoundILP(p)
+	_, opt, err := ExactILP(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 {
+		t.Errorf("bound = %f, want > 0", lb)
+	}
+	if lb > float64(opt)+1e-9 {
+		t.Errorf("bound %f exceeds OPT %d", lb, opt)
+	}
+}

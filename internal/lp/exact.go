@@ -1,0 +1,227 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"distcover/internal/hypergraph"
+)
+
+// ErrSearchLimit indicates the exact solver exceeded its node budget; the
+// instance is too large for exact solving.
+var ErrSearchLimit = errors.New("lp: exact solver node limit exceeded")
+
+// DefaultExactLimit bounds branch-and-bound nodes when no limit is given.
+const DefaultExactLimit = 5_000_000
+
+// ExactCover computes a minimum-weight vertex cover of g by branch and
+// bound: pick an uncovered edge and branch on which of its ≤ f vertices
+// joins the cover. Exponential in the cover size; intended for auditing
+// approximation ratios on small instances. limit ≤ 0 uses
+// DefaultExactLimit.
+func ExactCover(g *hypergraph.Hypergraph, limit int64) ([]hypergraph.VertexID, int64, error) {
+	if limit <= 0 {
+		limit = DefaultExactLimit
+	}
+	s := &coverSearch{
+		g:        g,
+		limit:    limit,
+		inCover:  make([]bool, g.NumVertices()),
+		coverCnt: make([]int, g.NumEdges()),
+		// Upper bound to beat: all vertices (always a cover).
+		bestW: g.TotalWeight() + 1,
+	}
+	// Branching on edges in increasing-size order tends to shrink the tree.
+	s.edgeOrder = make([]hypergraph.EdgeID, g.NumEdges())
+	for e := range s.edgeOrder {
+		s.edgeOrder[e] = hypergraph.EdgeID(e)
+	}
+	sort.Slice(s.edgeOrder, func(i, j int) bool {
+		return g.EdgeSize(s.edgeOrder[i]) < g.EdgeSize(s.edgeOrder[j])
+	})
+	if err := s.branch(0); err != nil {
+		return nil, 0, err
+	}
+	if !s.found {
+		// Cannot happen for valid instances (all vertices always cover),
+		// but keep the search honest.
+		return nil, 0, fmt.Errorf("%w: no cover found", ErrInfeasible)
+	}
+	return s.best, s.bestW, nil
+}
+
+type coverSearch struct {
+	g         *hypergraph.Hypergraph
+	edgeOrder []hypergraph.EdgeID
+	inCover   []bool
+	coverCnt  []int // how many chosen vertices stab each edge
+	curW      int64
+	best      []hypergraph.VertexID
+	bestW     int64
+	found     bool
+	nodes     int64
+	limit     int64
+}
+
+func (s *coverSearch) branch(weightFloor int64) error {
+	s.nodes++
+	if s.nodes > s.limit {
+		return fmt.Errorf("%w (%d nodes)", ErrSearchLimit, s.limit)
+	}
+	if s.curW >= s.bestW {
+		return nil
+	}
+	// Find an uncovered edge.
+	var pick hypergraph.EdgeID = -1
+	for _, e := range s.edgeOrder {
+		if s.coverCnt[e] == 0 {
+			pick = e
+			break
+		}
+	}
+	if pick < 0 {
+		// Everything covered: record solution.
+		s.found = true
+		s.bestW = s.curW
+		s.best = s.best[:0]
+		for v, in := range s.inCover {
+			if in {
+				s.best = append(s.best, hypergraph.VertexID(v))
+			}
+		}
+		return nil
+	}
+	for _, v := range s.g.Edge(pick) {
+		if s.inCover[v] {
+			continue // cannot happen for an uncovered edge, but keep safe
+		}
+		w := s.g.Weight(v)
+		s.inCover[v] = true
+		s.curW += w
+		for _, e := range s.g.Incident(v) {
+			s.coverCnt[e]++
+		}
+		if err := s.branch(weightFloor); err != nil {
+			return err
+		}
+		for _, e := range s.g.Incident(v) {
+			s.coverCnt[e]--
+		}
+		s.curW -= w
+		s.inCover[v] = false
+	}
+	return nil
+}
+
+// ExactILP computes an optimal solution of a small covering ILP by branch
+// and bound over variables with box bounds VarBound(j), pruning with the
+// partial objective and a residual-coverage test. limit ≤ 0 uses
+// DefaultExactLimit.
+func ExactILP(p *CoveringILP, limit int64) ([]int64, int64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if limit <= 0 {
+		limit = DefaultExactLimit
+	}
+	s := &ilpSearch{
+		p:      p,
+		limit:  limit,
+		x:      make([]int64, p.NumVars),
+		resid:  make([]int64, len(p.Rows)),
+		bounds: make([]int64, p.NumVars),
+	}
+	for i, row := range p.Rows {
+		s.resid[i] = row.B
+	}
+	for j := 0; j < p.NumVars; j++ {
+		s.bounds[j] = p.VarBound(j)
+	}
+	// maxTail[j][i] = max contribution of variables ≥ j to row i.
+	s.maxTail = make([][]int64, p.NumVars+1)
+	s.maxTail[p.NumVars] = make([]int64, len(p.Rows))
+	colTerms := make([][]Term, p.NumVars) // row index + coef per column
+	for i, row := range p.Rows {
+		for _, t := range row.Terms {
+			colTerms[t.Col] = append(colTerms[t.Col], Term{Col: i, Coef: t.Coef})
+		}
+	}
+	for j := p.NumVars - 1; j >= 0; j-- {
+		s.maxTail[j] = append([]int64(nil), s.maxTail[j+1]...)
+		for _, t := range colTerms[j] {
+			s.maxTail[j][t.Col] += t.Coef * s.bounds[j]
+		}
+	}
+	s.colRows = colTerms
+	// Upper bound to beat: x_j = bounds (feasible if instance is feasible).
+	var ub int64 = 1
+	for j := 0; j < p.NumVars; j++ {
+		ub += p.Weights[j] * s.bounds[j]
+	}
+	s.bestW = ub
+	if err := s.branch(0); err != nil {
+		return nil, 0, err
+	}
+	if !s.found {
+		return nil, 0, fmt.Errorf("%w: no feasible assignment within bounds", ErrInfeasible)
+	}
+	return s.best, s.bestW, nil
+}
+
+type ilpSearch struct {
+	p       *CoveringILP
+	x       []int64
+	resid   []int64 // residual demand per row
+	bounds  []int64
+	maxTail [][]int64
+	colRows [][]Term // per column: (row index, coef)
+	curW    int64
+	best    []int64
+	bestW   int64
+	found   bool
+	nodes   int64
+	limit   int64
+}
+
+func (s *ilpSearch) branch(j int) error {
+	s.nodes++
+	if s.nodes > s.limit {
+		return fmt.Errorf("%w (%d nodes)", ErrSearchLimit, s.limit)
+	}
+	if s.curW >= s.bestW {
+		return nil
+	}
+	// Residual feasibility: can variables ≥ j still satisfy every row?
+	for i, r := range s.resid {
+		if r > 0 && s.maxTail[j][i] < r {
+			return nil
+		}
+	}
+	if j == s.p.NumVars {
+		s.found = true
+		s.bestW = s.curW
+		s.best = append(s.best[:0], s.x...)
+		return nil
+	}
+	// Try values 0..bound; ascending order finds cheap solutions first.
+	for v := int64(0); v <= s.bounds[j]; v++ {
+		s.x[j] = v
+		if v > 0 {
+			s.curW += s.p.Weights[j]
+			for _, t := range s.colRows[j] {
+				s.resid[t.Col] -= t.Coef
+			}
+		}
+		if err := s.branch(j + 1); err != nil {
+			return err
+		}
+	}
+	// Undo the accumulated assignment of bounds[j].
+	for _, t := range s.colRows[j] {
+		s.resid[t.Col] += t.Coef * s.bounds[j]
+	}
+	s.curW -= s.p.Weights[j] * s.bounds[j]
+	s.x[j] = 0
+	return nil
+}

@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distcover/internal/hypergraph"
+)
+
+func TestExactCoverTriangle(t *testing.T) {
+	// K_3 with weights 1,2,3: optimal cover is {0,1} with weight 3.
+	g := hypergraph.MustNew([]int64{1, 2, 3},
+		[][]hypergraph.VertexID{{0, 1}, {1, 2}, {0, 2}})
+	cover, w, err := ExactCover(g, 0)
+	if err != nil {
+		t.Fatalf("ExactCover: %v", err)
+	}
+	if w != 3 {
+		t.Errorf("optimal weight = %d, want 3", w)
+	}
+	if !g.IsCover(cover) {
+		t.Errorf("returned set %v is not a cover", cover)
+	}
+	if g.CoverWeight(cover) != w {
+		t.Errorf("cover weight %d != reported %d", g.CoverWeight(cover), w)
+	}
+}
+
+func TestExactCoverStar(t *testing.T) {
+	// Star: cheap center should be chosen over expensive leaves.
+	g, err := hypergraph.Star(6, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, w, err := ExactCover(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("star optimum = %d, want 2 (the center)", w)
+	}
+}
+
+func TestExactCoverEdgeless(t *testing.T) {
+	g := hypergraph.MustNew([]int64{1, 2}, nil)
+	cover, w, err := ExactCover(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 0 || w != 0 {
+		t.Errorf("edgeless optimum = (%v, %d), want (empty, 0)", cover, w)
+	}
+}
+
+func TestExactCoverSearchLimit(t *testing.T) {
+	g, err := hypergraph.CompleteGraph(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ExactCover(g, 5)
+	if !errors.Is(err, ErrSearchLimit) {
+		t.Errorf("err = %v, want ErrSearchLimit", err)
+	}
+}
+
+func TestExactCoverMatchesBruteForceOnRandom(t *testing.T) {
+	// Cross-check branch and bound against subset enumeration.
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(8, 10, 2,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 6})
+		if err != nil {
+			return false
+		}
+		_, got, err := ExactCover(g, 0)
+		if err != nil {
+			return false
+		}
+		want := bruteForceCover(g)
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteForceCover enumerates all 2^n subsets (n ≤ ~16).
+func bruteForceCover(g *hypergraph.Hypergraph) int64 {
+	n := g.NumVertices()
+	best := g.TotalWeight()
+	for mask := 0; mask < 1<<n; mask++ {
+		var cover []hypergraph.VertexID
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				cover = append(cover, hypergraph.VertexID(v))
+			}
+		}
+		if g.IsCover(cover) {
+			if w := g.CoverWeight(cover); w < best {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+func TestExactILPSample(t *testing.T) {
+	// min 2x0+3x1+x2 s.t. 2x0+x1 ≥ 4, x1+3x2 ≥ 3.
+	// x = (2,0,1) costs 5; alternatives cost more.
+	x, w, err := ExactILP(sample(), 0)
+	if err != nil {
+		t.Fatalf("ExactILP: %v", err)
+	}
+	if w != 5 {
+		t.Errorf("optimum = %d, want 5", w)
+	}
+	if !sample().IsFeasible(x) {
+		t.Errorf("returned x = %v infeasible", x)
+	}
+	if sample().Value(x) != w {
+		t.Errorf("Value(x) = %d != reported %d", sample().Value(x), w)
+	}
+}
+
+func TestExactILPTrivial(t *testing.T) {
+	p := &CoveringILP{NumVars: 0}
+	x, w, err := ExactILP(p, 0)
+	if err != nil {
+		t.Fatalf("ExactILP(empty): %v", err)
+	}
+	if len(x) != 0 || w != 0 {
+		t.Errorf("empty ILP solution = (%v,%d), want (empty,0)", x, w)
+	}
+}
+
+func TestExactILPSearchLimit(t *testing.T) {
+	// Large box bounds make enumeration expensive.
+	p := &CoveringILP{
+		NumVars: 6,
+		Weights: []int64{1, 1, 1, 1, 1, 1},
+		Rows: []Row{
+			{Terms: []Term{{0, 1}, {1, 1}, {2, 1}}, B: 50},
+			{Terms: []Term{{3, 1}, {4, 1}, {5, 1}}, B: 50},
+		},
+	}
+	_, _, err := ExactILP(p, 10)
+	if !errors.Is(err, ErrSearchLimit) {
+		t.Errorf("err = %v, want ErrSearchLimit", err)
+	}
+}
+
+func TestExactILPAgreesWithExactCover(t *testing.T) {
+	// On the incidence program of a hypergraph the two solvers must agree.
+	prop := func(seed int64) bool {
+		g, err := hypergraph.UniformRandom(7, 9, 3,
+			hypergraph.GenConfig{Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 4})
+		if err != nil {
+			return false
+		}
+		_, wCover, err := ExactCover(g, 0)
+		if err != nil {
+			return false
+		}
+		_, wILP, err := ExactILP(FromHypergraph(g), 0)
+		if err != nil {
+			return false
+		}
+		return wCover == wILP
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package lp provides the covering linear/integer-program substrate for
+// Section 5 of the paper: covering ILP instances min wᵀx s.t. Ax ≥ b,
+// x ∈ ℕⁿ with non-negative data, the structural parameters f(A) (max
+// nonzeros per row), Δ(A) (max nonzeros per column) and M(A,b)
+// (Definition 16), plus reference solvers used to audit approximation
+// ratios: weak-duality lower bounds and exact branch-and-bound for small
+// instances.
+//
+// Coefficients are integers. The paper allows real data; integer data loses
+// no generality for the experiments (scale rationals by a common
+// denominator) and keeps the reductions exact.
+package lp
+
+import (
+	"errors"
+	"fmt"
+
+	"distcover/internal/hypergraph"
+)
+
+// Errors returned by instance validation.
+var (
+	// ErrNegativeCoefficient indicates A, b, or w containing a negative
+	// entry, which violates the covering-program definition.
+	ErrNegativeCoefficient = errors.New("lp: negative coefficient in covering program")
+	// ErrInfeasible indicates a constraint that no assignment can satisfy
+	// (b_i > 0 with no positive coefficients in row i).
+	ErrInfeasible = errors.New("lp: infeasible covering constraint")
+	// ErrBadShape indicates inconsistent dimensions or out-of-range column
+	// indices.
+	ErrBadShape = errors.New("lp: malformed instance")
+	// ErrNonPositiveWeight indicates an objective weight ≤ 0; the reduction
+	// to MWHVC requires strictly positive weights.
+	ErrNonPositiveWeight = errors.New("lp: non-positive objective weight")
+)
+
+// Term is one nonzero entry A[row][Col] = Coef of the constraint matrix.
+type Term struct {
+	Col  int
+	Coef int64
+}
+
+// Row is one covering constraint Σ Terms ≥ B.
+type Row struct {
+	Terms []Term
+	B     int64
+}
+
+// CoveringILP is the integer program min wᵀx subject to Ax ≥ b, x ∈ ℕⁿ,
+// with all data non-negative (Definition 13).
+type CoveringILP struct {
+	// NumVars is n, the number of variables.
+	NumVars int
+	// Rows are the m covering constraints.
+	Rows []Row
+	// Weights is the objective vector w (strictly positive).
+	Weights []int64
+}
+
+// Validate checks shape, non-negativity and feasibility. A row with B ≤ 0
+// is trivially satisfied and legal; a row with B > 0 must have at least one
+// positive coefficient.
+func (p *CoveringILP) Validate() error {
+	if p.NumVars < 0 || len(p.Weights) != p.NumVars {
+		return fmt.Errorf("%w: NumVars=%d but %d weights", ErrBadShape, p.NumVars, len(p.Weights))
+	}
+	for j, w := range p.Weights {
+		if w <= 0 {
+			return fmt.Errorf("%w: variable %d weight %d", ErrNonPositiveWeight, j, w)
+		}
+	}
+	for i, row := range p.Rows {
+		if row.B < 0 {
+			return fmt.Errorf("%w: row %d has b=%d", ErrNegativeCoefficient, i, row.B)
+		}
+		hasPositive := false
+		seen := make(map[int]bool, len(row.Terms))
+		for _, t := range row.Terms {
+			if t.Col < 0 || t.Col >= p.NumVars {
+				return fmt.Errorf("%w: row %d references column %d (n=%d)",
+					ErrBadShape, i, t.Col, p.NumVars)
+			}
+			if seen[t.Col] {
+				return fmt.Errorf("%w: row %d repeats column %d", ErrBadShape, i, t.Col)
+			}
+			seen[t.Col] = true
+			if t.Coef < 0 {
+				return fmt.Errorf("%w: row %d column %d coef %d",
+					ErrNegativeCoefficient, i, t.Col, t.Coef)
+			}
+			if t.Coef > 0 {
+				hasPositive = true
+			}
+		}
+		if row.B > 0 && !hasPositive {
+			return fmt.Errorf("%w: row %d requires %d but has no positive coefficients",
+				ErrInfeasible, i, row.B)
+		}
+	}
+	return nil
+}
+
+// NumRows returns m.
+func (p *CoveringILP) NumRows() int { return len(p.Rows) }
+
+// RowF returns f(A), the maximum number of nonzero entries in a row.
+func (p *CoveringILP) RowF() int {
+	f := 0
+	for _, row := range p.Rows {
+		nz := 0
+		for _, t := range row.Terms {
+			if t.Coef != 0 {
+				nz++
+			}
+		}
+		if nz > f {
+			f = nz
+		}
+	}
+	return f
+}
+
+// ColDelta returns Δ(A), the maximum number of nonzero entries in a column.
+func (p *CoveringILP) ColDelta() int {
+	if p.NumVars == 0 {
+		return 0
+	}
+	cnt := make([]int, p.NumVars)
+	for _, row := range p.Rows {
+		for _, t := range row.Terms {
+			if t.Coef != 0 {
+				cnt[t.Col]++
+			}
+		}
+	}
+	d := 0
+	for _, c := range cnt {
+		if c > d {
+			d = c
+		}
+	}
+	return d
+}
+
+// M returns M(A, b) = max{1, max over nonzero A_ij of ⌈b_i / A_ij⌉}
+// (Definition 16): no variable ever needs to exceed M in an optimal
+// solution (Proposition 17).
+func (p *CoveringILP) M() int64 {
+	m := int64(1)
+	for _, row := range p.Rows {
+		if row.B <= 0 {
+			continue
+		}
+		for _, t := range row.Terms {
+			if t.Coef <= 0 {
+				continue
+			}
+			v := (row.B + t.Coef - 1) / t.Coef
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// VarBound returns the per-variable box bound: the largest value variable j
+// can usefully take, max over rows i with A_ij > 0 of ⌈b_i / A_ij⌉.
+func (p *CoveringILP) VarBound(j int) int64 {
+	bound := int64(0)
+	for _, row := range p.Rows {
+		if row.B <= 0 {
+			continue
+		}
+		for _, t := range row.Terms {
+			if t.Col == j && t.Coef > 0 {
+				v := (row.B + t.Coef - 1) / t.Coef
+				if v > bound {
+					bound = v
+				}
+			}
+		}
+	}
+	return bound
+}
+
+// IsFeasible reports whether x (length n, entries ≥ 0) satisfies Ax ≥ b.
+func (p *CoveringILP) IsFeasible(x []int64) bool {
+	if len(x) != p.NumVars {
+		return false
+	}
+	for _, v := range x {
+		if v < 0 {
+			return false
+		}
+	}
+	for _, row := range p.Rows {
+		var sum int64
+		for _, t := range row.Terms {
+			sum += t.Coef * x[t.Col]
+		}
+		if sum < row.B {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns wᵀx.
+func (p *CoveringILP) Value(x []int64) int64 {
+	var v int64
+	for j, xj := range x {
+		if j < len(p.Weights) {
+			v += p.Weights[j] * xj
+		}
+	}
+	return v
+}
+
+// FromHypergraph converts an MWHVC instance to its natural zero-one covering
+// program: one 0/1 variable per vertex, one constraint Σ_{v∈e} x_v ≥ 1 per
+// edge (the incidence-matrix program of Section 5.2).
+func FromHypergraph(g *hypergraph.Hypergraph) *CoveringILP {
+	p := &CoveringILP{
+		NumVars: g.NumVertices(),
+		Weights: g.Weights(),
+		Rows:    make([]Row, g.NumEdges()),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		vs := g.Edge(hypergraph.EdgeID(e))
+		terms := make([]Term, len(vs))
+		for i, v := range vs {
+			terms[i] = Term{Col: int(v), Coef: 1}
+		}
+		p.Rows[e] = Row{Terms: terms, B: 1}
+	}
+	return p
+}
+
+// String summarizes the instance parameters.
+func (p *CoveringILP) String() string {
+	return fmt.Sprintf("coveringILP{n=%d m=%d f=%d Δ=%d M=%d}",
+		p.NumVars, p.NumRows(), p.RowF(), p.ColDelta(), p.M())
+}

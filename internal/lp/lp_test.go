@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"errors"
+	"testing"
+
+	"distcover/internal/hypergraph"
+)
+
+// sample returns a small valid covering ILP:
+//
+//	min 2x0 + 3x1 + x2
+//	s.t. 2x0 + 1x1 ≥ 4
+//	     1x1 + 3x2 ≥ 3
+func sample() *CoveringILP {
+	return &CoveringILP{
+		NumVars: 3,
+		Weights: []int64{2, 3, 1},
+		Rows: []Row{
+			{Terms: []Term{{Col: 0, Coef: 2}, {Col: 1, Coef: 1}}, B: 4},
+			{Terms: []Term{{Col: 1, Coef: 1}, {Col: 2, Coef: 3}}, B: 3},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("Validate(valid) = %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*CoveringILP)
+		wantErr error
+	}{
+		{"negative coef", func(p *CoveringILP) { p.Rows[0].Terms[0].Coef = -1 }, ErrNegativeCoefficient},
+		{"negative b", func(p *CoveringILP) { p.Rows[0].B = -2 }, ErrNegativeCoefficient},
+		{"zero weight", func(p *CoveringILP) { p.Weights[1] = 0 }, ErrNonPositiveWeight},
+		{"col out of range", func(p *CoveringILP) { p.Rows[1].Terms[0].Col = 7 }, ErrBadShape},
+		{"weights len mismatch", func(p *CoveringILP) { p.NumVars = 4 }, ErrBadShape},
+		{"duplicate col", func(p *CoveringILP) { p.Rows[0].Terms[1].Col = 0 }, ErrBadShape},
+		{
+			"infeasible row",
+			func(p *CoveringILP) { p.Rows[0].Terms = []Term{{Col: 0, Coef: 0}} },
+			ErrInfeasible,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := sample()
+			tt.mutate(p)
+			if err := p.Validate(); !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStructuralParams(t *testing.T) {
+	p := sample()
+	if got := p.RowF(); got != 2 {
+		t.Errorf("RowF = %d, want 2", got)
+	}
+	if got := p.ColDelta(); got != 2 { // column 1 appears in both rows
+		t.Errorf("ColDelta = %d, want 2", got)
+	}
+	// M: row0 gives ceil(4/2)=2, ceil(4/1)=4; row1 gives ceil(3/1)=3, ceil(3/3)=1.
+	if got := p.M(); got != 4 {
+		t.Errorf("M = %d, want 4", got)
+	}
+	if got := p.VarBound(0); got != 2 {
+		t.Errorf("VarBound(0) = %d, want 2", got)
+	}
+	if got := p.VarBound(1); got != 4 {
+		t.Errorf("VarBound(1) = %d, want 4", got)
+	}
+	if got := p.VarBound(2); got != 1 {
+		t.Errorf("VarBound(2) = %d, want 1", got)
+	}
+}
+
+func TestFeasibilityAndValue(t *testing.T) {
+	p := sample()
+	tests := []struct {
+		name string
+		x    []int64
+		feas bool
+		val  int64
+	}{
+		{"zero", []int64{0, 0, 0}, false, 0},
+		{"feasible", []int64{2, 0, 1}, true, 5},
+		{"feasible via x1", []int64{0, 4, 0}, true, 12},
+		{"short vector", []int64{1}, false, 2},
+		{"negative entry", []int64{-1, 5, 5}, false, 18},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.IsFeasible(tt.x); got != tt.feas {
+				t.Errorf("IsFeasible(%v) = %v, want %v", tt.x, got, tt.feas)
+			}
+			if got := p.Value(tt.x); got != tt.val {
+				t.Errorf("Value(%v) = %d, want %d", tt.x, got, tt.val)
+			}
+		})
+	}
+}
+
+func TestFromHypergraph(t *testing.T) {
+	g := hypergraph.MustNew([]int64{5, 7, 9}, [][]hypergraph.VertexID{{0, 1}, {1, 2}})
+	p := FromHypergraph(g)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NumVars != 3 || p.NumRows() != 2 {
+		t.Fatalf("shape = (%d,%d), want (3,2)", p.NumVars, p.NumRows())
+	}
+	if p.RowF() != 2 || p.M() != 1 {
+		t.Errorf("f=%d M=%d, want f=2 M=1", p.RowF(), p.M())
+	}
+	// x = indicator of {1} covers both edges.
+	if !p.IsFeasible([]int64{0, 1, 0}) {
+		t.Error("cover {1} should be feasible")
+	}
+	if p.Value([]int64{0, 1, 0}) != 7 {
+		t.Error("objective should equal vertex weight")
+	}
+}
+
+func TestMWithTrivialRows(t *testing.T) {
+	p := &CoveringILP{
+		NumVars: 1,
+		Weights: []int64{1},
+		Rows:    []Row{{Terms: []Term{{Col: 0, Coef: 5}}, B: 0}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.M(); got != 1 {
+		t.Errorf("M with only trivial rows = %d, want 1", got)
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	if s := sample().String(); s == "" {
+		t.Error("empty String()")
+	}
+}

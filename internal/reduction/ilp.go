@@ -1,0 +1,105 @@
+package reduction
+
+import (
+	"fmt"
+	"math/bits"
+
+	"distcover/internal/lp"
+)
+
+// BitVar records which (variable, bit) a zero-one column encodes.
+type BitVar struct {
+	// Var is the original ILP variable index.
+	Var int
+	// Bit is the power of two this column contributes: value 2^Bit.
+	Bit int
+}
+
+// ILPReduction is the output of ToZeroOne: the expanded binary program plus
+// the bit layout needed to map assignments back.
+type ILPReduction struct {
+	// ZO is the zero-one covering program of Claim 18.
+	ZO *lp.CoveringILP
+	// Layout maps each ZO column to its (variable, bit).
+	Layout []BitVar
+	// NumVars is the original variable count.
+	NumVars int
+	// M is M(A, b) from Definition 16.
+	M int64
+}
+
+// ToZeroOne expands a covering ILP into a zero-one covering program by
+// binary expansion (Claim 18): variable x_j with box bound [0, M] becomes B
+// bits x_{j,0..B-1} with column 2^ℓ·A^{(j)} and weight 2^ℓ·w_j, where
+// B = ⌊log2 M⌋ + 1 so every value in [0, M] is representable. With
+// Options.PerVariableBits, B_j is derived from VarBound(j) ≤ M instead.
+func ToZeroOne(p *lp.CoveringILP, opts Options) (*ILPReduction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.M()
+	globalBits := bitsFor(m)
+	red := &ILPReduction{
+		NumVars: p.NumVars,
+		M:       m,
+	}
+	zo := &lp.CoveringILP{}
+	colOf := make([][]int, p.NumVars) // per variable: ZO column of each bit
+	for j := 0; j < p.NumVars; j++ {
+		nb := globalBits
+		if opts.PerVariableBits {
+			nb = bitsFor(p.VarBound(j))
+		}
+		if nb < 1 {
+			nb = 1
+		}
+		for l := 0; l < nb; l++ {
+			colOf[j] = append(colOf[j], zo.NumVars)
+			red.Layout = append(red.Layout, BitVar{Var: j, Bit: l})
+			zo.Weights = append(zo.Weights, p.Weights[j]<<uint(l))
+			zo.NumVars++
+		}
+	}
+	for i, row := range p.Rows {
+		var terms []lp.Term
+		for _, t := range row.Terms {
+			if t.Coef == 0 {
+				continue
+			}
+			for l, col := range colOf[t.Col] {
+				terms = append(terms, lp.Term{Col: col, Coef: t.Coef << uint(l)})
+			}
+		}
+		if row.B > 0 && len(terms) == 0 {
+			return nil, fmt.Errorf("%w: row %d", ErrInfeasible, i)
+		}
+		zo.Rows = append(zo.Rows, lp.Row{Terms: terms, B: row.B})
+	}
+	if err := zo.Validate(); err != nil {
+		return nil, fmt.Errorf("reduction: expanded program invalid: %w", err)
+	}
+	red.ZO = zo
+	return red, nil
+}
+
+// AssignmentFromBits maps a zero-one assignment of the expanded program
+// back to the original variables: x_j = Σ_ℓ 2^ℓ·x_{j,ℓ}. The objective is
+// preserved exactly: wᵀx equals the ZO objective of the bit vector.
+func (r *ILPReduction) AssignmentFromBits(bitsX []int64) []int64 {
+	x := make([]int64, r.NumVars)
+	for col, bv := range r.Layout {
+		if col < len(bitsX) && bitsX[col] > 0 {
+			x[bv.Var] += 1 << uint(bv.Bit)
+		}
+	}
+	return x
+}
+
+// bitsFor returns the number of binary digits needed to represent every
+// value in [0, v]: ⌊log2 v⌋ + 1 (and 1 for v ≤ 1).
+func bitsFor(v int64) int {
+	if v <= 1 {
+		return 1
+	}
+	return bits.Len64(uint64(v))
+}

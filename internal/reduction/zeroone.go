@@ -1,0 +1,211 @@
+// Package reduction implements the distributed reductions of Section 5 of
+// "Optimal Distributed Covering Algorithms": zero-one covering programs to
+// Minimum Weight Hypergraph Vertex Cover (Lemma 14) and general covering
+// ILPs to zero-one programs by binary expansion over the box [0, M]
+// (Claim 18, Proposition 17), together with the solution mappings back.
+// Composing the two with the core algorithm yields the Theorem 19 pipeline.
+package reduction
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"distcover/internal/hypergraph"
+	"distcover/internal/lp"
+)
+
+// Errors returned by the reductions.
+var (
+	// ErrRowTooWide indicates a constraint whose 2^|σ| subset enumeration
+	// exceeds Options.MaxRowSize.
+	ErrRowTooWide = errors.New("reduction: constraint has too many nonzeros for subset enumeration")
+	// ErrInfeasible indicates a constraint unsatisfiable even with every
+	// variable at its maximum (for the zero-one reduction: with every
+	// variable set to 1).
+	ErrInfeasible = errors.New("reduction: infeasible covering constraint")
+)
+
+// Options configures the reductions.
+type Options struct {
+	// MaxRowSize caps |σ_i| per constraint; the Lemma 14 enumeration costs
+	// 2^|σ_i|. ≤ 0 means DefaultMaxRowSize.
+	MaxRowSize int
+	// PruneDominated removes hyperedges that are supersets of other
+	// hyperedges. Covers are preserved exactly: stabbing a subset edge stabs
+	// every superset. Reduces Δ′ substantially on dense rows.
+	PruneDominated bool
+	// PerVariableBits uses ⌈log2(bound_j+1)⌉ bits per variable instead of
+	// the paper's uniform ⌈log2 M⌉+1; the Claim 18 guarantees still hold
+	// since per-variable bounds never exceed M.
+	PerVariableBits bool
+}
+
+// DefaultMaxRowSize bounds 2^row enumeration to about a million subsets.
+const DefaultMaxRowSize = 20
+
+// ZeroOneReduction is the output of ToHypergraph: the MWHVC instance plus
+// the data needed to map covers back to assignments.
+type ZeroOneReduction struct {
+	// G is the hypergraph of Lemma 14; vertex j corresponds to variable j.
+	G *hypergraph.Hypergraph
+	// NumVars is the number of variables (= vertices).
+	NumVars int
+	// Edges counts hyperedges before deduplication/pruning, for blowup
+	// reporting.
+	RawEdges int
+}
+
+// ToHypergraph reduces a feasible zero-one covering program to MWHVC per
+// Lemma 14: for every constraint i and every subset S of its support σ_i
+// whose indicator fails the constraint, the complement σ_i \ S becomes a
+// hyperedge. A set C ⊆ [n] is a vertex cover of the result iff its
+// indicator satisfies every constraint.
+//
+// The input is *interpreted* as a zero-one program: variables range over
+// {0,1} regardless of how large the coefficients would allow integral
+// variables to grow (being zero-one is part of the program class, not a
+// property of the matrix — Section 5.2). Rows unsatisfiable with every
+// variable at 1 yield ErrInfeasible.
+func ToHypergraph(p *lp.CoveringILP, opts Options) (*ZeroOneReduction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxRow := opts.MaxRowSize
+	if maxRow <= 0 {
+		maxRow = DefaultMaxRowSize
+	}
+	b := hypergraph.NewBuilder(p.NumVars, len(p.Rows))
+	for _, w := range p.Weights {
+		b.AddVertex(w)
+	}
+	seen := make(map[string]bool)
+	raw := 0
+	var edges [][]hypergraph.VertexID
+	for i, row := range p.Rows {
+		if row.B <= 0 {
+			continue // trivially satisfied
+		}
+		support := make([]int, 0, len(row.Terms))
+		coefs := make([]int64, 0, len(row.Terms))
+		var total int64
+		for _, t := range row.Terms {
+			if t.Coef > 0 {
+				support = append(support, t.Col)
+				coefs = append(coefs, t.Coef)
+				total += t.Coef
+			}
+		}
+		if total < row.B {
+			return nil, fmt.Errorf("%w: row %d reaches at most %d < %d",
+				ErrInfeasible, i, total, row.B)
+		}
+		if len(support) > maxRow {
+			return nil, fmt.Errorf("%w: row %d has %d nonzeros (max %d)",
+				ErrRowTooWide, i, len(support), maxRow)
+		}
+		// Enumerate S ⊆ σ_i with A_i·I_S < b_i; edge = σ_i \ S. Iterating
+		// over the bitmask of S keeps the sum incremental-free but simple.
+		for mask := 0; mask < 1<<len(support); mask++ {
+			var sum int64
+			for k := range support {
+				if mask&(1<<k) != 0 {
+					sum += coefs[k]
+				}
+			}
+			if sum >= row.B {
+				continue // S satisfies the constraint; no edge
+			}
+			raw++
+			edge := make([]hypergraph.VertexID, 0, len(support))
+			for k, col := range support {
+				if mask&(1<<k) == 0 {
+					edge = append(edge, hypergraph.VertexID(col))
+				}
+			}
+			key := edgeKey(edge)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			edges = append(edges, edge)
+		}
+	}
+	if opts.PruneDominated {
+		edges = pruneDominated(edges)
+	}
+	for _, e := range edges {
+		b.AddEdge(e...)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &ZeroOneReduction{G: g, NumVars: p.NumVars, RawEdges: raw}, nil
+}
+
+// CoverToAssignment maps a vertex cover of the reduced hypergraph to the
+// zero-one assignment it encodes.
+func (r *ZeroOneReduction) CoverToAssignment(cover []hypergraph.VertexID) []int64 {
+	x := make([]int64, r.NumVars)
+	for _, v := range cover {
+		if v >= 0 && int(v) < r.NumVars {
+			x[v] = 1
+		}
+	}
+	return x
+}
+
+// edgeKey canonicalizes a sorted edge for deduplication.
+func edgeKey(edge []hypergraph.VertexID) string {
+	var sb strings.Builder
+	for i, v := range edge {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(v)))
+	}
+	return sb.String()
+}
+
+// pruneDominated drops edges that are strict supersets of another edge.
+// Edges are assumed sorted and deduplicated. A cover stabbing the subset
+// necessarily stabs the superset, so the feasible covers are unchanged.
+func pruneDominated(edges [][]hypergraph.VertexID) [][]hypergraph.VertexID {
+	sort.Slice(edges, func(i, j int) bool { return len(edges[i]) < len(edges[j]) })
+	kept := make(map[string]bool, len(edges))
+	var out [][]hypergraph.VertexID
+	for _, e := range edges {
+		if hasKeptSubset(e, kept) {
+			continue
+		}
+		kept[edgeKey(e)] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// hasKeptSubset enumerates the proper, non-empty subsets of e and reports
+// whether any was already kept. Edges have at most ~f·logM elements, so the
+// 2^|e| enumeration is bounded by the same budget as the reduction itself.
+func hasKeptSubset(e []hypergraph.VertexID, kept map[string]bool) bool {
+	n := len(e)
+	sub := make([]hypergraph.VertexID, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		if mask == 1<<n-1 {
+			continue // the edge itself
+		}
+		sub = sub[:0]
+		for k := 0; k < n; k++ {
+			if mask&(1<<k) != 0 {
+				sub = append(sub, e[k])
+			}
+		}
+		if kept[edgeKey(sub)] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package distcover
+
+import "distcover/internal/core"
+
+// Option configures Solve, SolveCongest and SolveILP.
+type Option interface {
+	apply(*solveConfig)
+}
+
+type solveConfig struct {
+	core   core.Options
+	engine engineKind
+}
+
+type engineKind int
+
+const (
+	engineSequential engineKind = iota
+	engineParallel
+	engineTCP
+)
+
+type optionFunc func(*solveConfig)
+
+func (f optionFunc) apply(c *solveConfig) { f(c) }
+
+// WithEpsilon sets the approximation slack ε ∈ (0, 1]: the cover weighs at
+// most (f+ε)·OPT. The default is 1.
+func WithEpsilon(eps float64) Option {
+	return optionFunc(func(c *solveConfig) { c.core.Epsilon = eps })
+}
+
+// WithFApproximation requests a clean f-approximation by setting
+// ε = 1/(n·W) internally (Corollary 10); rounds grow to O(f·log n).
+func WithFApproximation() Option {
+	return optionFunc(func(c *solveConfig) { c.core.FApprox = true })
+}
+
+// WithSingleLevelVariant selects the Appendix C variant in which dual
+// variables grow by bid/2 and no vertex gains more than one level per
+// iteration; iterations at most double (Lemma 22).
+func WithSingleLevelVariant() Option {
+	return optionFunc(func(c *solveConfig) { c.core.Variant = core.VariantSingleLevel })
+}
+
+// WithLocalAlpha lets every edge derive its bid multiplier α(e) from its
+// local maximum degree Δ(e) instead of the global Δ (remark after
+// Theorem 9); no global knowledge of Δ is needed.
+func WithLocalAlpha() Option {
+	return optionFunc(func(c *solveConfig) { c.core.Alpha = core.AlphaLocal })
+}
+
+// WithFixedAlpha pins the bid multiplier to a constant α ≥ 2 (ablation
+// studies; Theorem 8 bounds iterations by O(log_α Δ + f·log(f/ε)·α)).
+func WithFixedAlpha(alpha float64) Option {
+	return optionFunc(func(c *solveConfig) {
+		c.core.Alpha = core.AlphaFixed
+		c.core.FixedAlpha = alpha
+	})
+}
+
+// WithExactArithmetic switches all bid/dual arithmetic to exact rationals
+// (math/big). Slower; intended for verification. Not available on the
+// CONGEST path.
+func WithExactArithmetic() Option {
+	return optionFunc(func(c *solveConfig) { c.core.Exact = true })
+}
+
+// WithMaxIterations overrides the Theorem 8-derived iteration safety cap.
+func WithMaxIterations(n int) Option {
+	return optionFunc(func(c *solveConfig) { c.core.MaxIterations = n })
+}
+
+// WithTrace records per-iteration statistics (joins, level increments,
+// raises, stuck vertices) in Solution.Trace; useful for studying the
+// algorithm's dynamics.
+func WithTrace() Option {
+	return optionFunc(func(c *solveConfig) { c.core.CollectTrace = true })
+}
+
+// WithInvariantChecks verifies the paper's invariants (Claims 1, 2 and 4)
+// after every iteration and fails the solve if any is violated. Intended
+// for verification runs; costs O(n+m) per iteration.
+func WithInvariantChecks() Option {
+	return optionFunc(func(c *solveConfig) { c.core.CheckInvariants = true })
+}
+
+// WithParallelEngine makes SolveCongest run every network node as its own
+// goroutine with channel-based message delivery. Results are identical to
+// the default deterministic sequential engine. Ignored by Solve.
+func WithParallelEngine() Option {
+	return optionFunc(func(c *solveConfig) { c.engine = engineParallel })
+}
+
+// WithTCPEngine makes SolveCongest run every network node as its own
+// goroutine connected over real TCP loopback sockets, moving the protocol
+// messages as encoded bytes (the library's wire codec). Results are
+// identical to the other engines; CongestStats.WireBytes reports the real
+// traffic. Each node holds one socket, so keep instances within the file
+// descriptor limit. Ignored by Solve.
+func WithTCPEngine() Option {
+	return optionFunc(func(c *solveConfig) { c.engine = engineTCP })
+}
+
+func buildOptions(opts []Option) core.Options {
+	cfg := solveConfig{core: core.DefaultOptions()}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg.core
+}
+
+func optEngine(opts []Option) engineKind {
+	cfg := solveConfig{}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg.engine
+}
