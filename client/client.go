@@ -1,0 +1,192 @@
+// Package client is a thin Go client for the coverd service
+// (distcover/server). It speaks the wire types of distcover/server/api and
+// serializes instances through the library's own codec, so a
+// *distcover.Instance round-trips the service unchanged.
+//
+//	c := client.New("http://localhost:8080")
+//	res, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"distcover"
+	"distcover/server/api"
+)
+
+// ErrBusy is returned when the server sheds load with 429 (job queue
+// full). Callers should back off and retry.
+var ErrBusy = errors.New("client: server busy (queue full)")
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("client: not found")
+
+// Client talks to one coverd server. The zero value is not usable; create
+// with New.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). The default http.Client is used; replace it
+// with SetHTTPClient for custom timeouts or transports.
+func New(baseURL string) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{baseURL: baseURL, httpc: &http.Client{}}
+}
+
+// SetHTTPClient replaces the underlying *http.Client.
+func (c *Client) SetHTTPClient(h *http.Client) { c.httpc = h }
+
+// EncodeInstance serializes an instance into the wire form used by
+// api.SolveRequest.Instance.
+func EncodeInstance(inst *distcover.Instance) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if _, err := inst.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("client: encode instance: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Solve solves one instance synchronously.
+func (c *Client) Solve(ctx context.Context, inst *distcover.Instance, opts api.SolveOptions) (*api.SolveResult, error) {
+	raw, err := EncodeInstance(inst)
+	if err != nil {
+		return nil, err
+	}
+	return c.SolveRequest(ctx, api.SolveRequest{Instance: raw, Options: opts})
+}
+
+// SolveRequest submits a prebuilt request (instance or ILP) synchronously.
+func (c *Client) SolveRequest(ctx context.Context, req api.SolveRequest) (*api.SolveResult, error) {
+	req.Async = false
+	var res api.SolveResult
+	if err := c.post(ctx, "/v1/solve", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SolveAsync submits a request for background execution and returns the
+// job id to poll with Job or Wait.
+func (c *Client) SolveAsync(ctx context.Context, req api.SolveRequest) (string, error) {
+	req.Async = true
+	var acc api.JobAccepted
+	if err := c.post(ctx, "/v1/solve", req, &acc); err != nil {
+		return "", err
+	}
+	return acc.ID, nil
+}
+
+// SolveBatch submits many requests in one call; Results mirrors the input
+// index by index.
+func (c *Client) SolveBatch(ctx context.Context, reqs []api.SolveRequest) ([]api.BatchItem, error) {
+	var res api.BatchResponse
+	if err := c.post(ctx, "/v1/solve/batch", api.BatchRequest{Requests: reqs}, &res); err != nil {
+		return nil, err
+	}
+	if len(res.Results) != len(reqs) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d requests", len(res.Results), len(reqs))
+	}
+	return res.Results, nil
+}
+
+// Job fetches the status of an async job.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.get(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls an async job until it finishes, ctx expires, or the job
+// fails. poll ≤ 0 defaults to 50ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*api.SolveResult, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case api.JobDone:
+			return st.Result, nil
+		case api.JobFailed:
+			return nil, fmt.Errorf("client: job %s failed: %s", id, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health fetches the server's health summary.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.get(ctx, "/healthz", &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return ErrBusy
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return ErrNotFound
+	}
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+		return fmt.Errorf("client: %s: %s", resp.Status, apiErr.Error)
+	}
+	return fmt.Errorf("client: unexpected status %s", resp.Status)
+}

@@ -1,15 +1,20 @@
 // Command benchharness regenerates the paper's evaluation artifacts: the
 // measured versions of Table 1 and Table 2 and the theorem-shape
-// experiments E1–E9 (see DESIGN.md for the index).
+// experiments E1–E10 (run with -list for the index).
 //
 // Usage:
 //
-//	benchharness [-exp all|T1|T2|E1..E9] [-quick] [-seed N] [-list]
+//	benchharness [-exp all|T1|T2|E1..E10] [-quick] [-seed N] [-list]
+//	             [-json file]
 //
-// Full sweeps take a few minutes; -quick shrinks them to seconds.
+// Full sweeps take a few minutes; -quick shrinks them to seconds. With
+// -json the results are additionally written to the given file as
+// machine-readable JSON (e.g. BENCH_results.json), so successive runs can
+// be diffed to track the performance trajectory across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +31,11 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E9)")
-		quick = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
-		seed  = flag.Int64("seed", 42, "workload generation seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E10)")
+		quick    = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_results.json)")
 	)
 	flag.Parse()
 	if *list {
@@ -45,5 +51,34 @@ func run() error {
 	for _, t := range tables {
 		t.Fprint(os.Stdout)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *exp, *quick, *seed, tables); err != nil {
+			return fmt.Errorf("-json: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchharness: wrote %s\n", *jsonPath)
+	}
 	return nil
+}
+
+// jsonResults is the machine-readable result file schema. Experiments
+// reuses bench.Table verbatim (ID, Title, Header, Rows, Notes), so every
+// cell printed by the text renderer is present for tooling to parse.
+type jsonResults struct {
+	Experiment  string        `json:"experiment"`
+	Quick       bool          `json:"quick"`
+	Seed        int64         `json:"seed"`
+	Experiments []bench.Table `json:"experiments"`
+}
+
+func writeJSON(path, exp string, quick bool, seed int64, tables []bench.Table) error {
+	data, err := json.MarshalIndent(jsonResults{
+		Experiment:  exp,
+		Quick:       quick,
+		Seed:        seed,
+		Experiments: tables,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

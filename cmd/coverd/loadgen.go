@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"distcover"
+	"distcover/client"
+	"distcover/internal/hypergraph"
+	"distcover/server"
+	"distcover/server/api"
+)
+
+type loadgenConfig struct {
+	target      string
+	requests    int
+	concurrency int
+	poolSize    int
+	genKind     string
+	n, m, f     int
+	eps         float64
+	seed        int64
+
+	// self-host settings (used when target is empty)
+	workers    int
+	queueDepth int
+	cacheSize  int
+}
+
+// runLoadgen hammers a coverd server with generated instances and prints
+// throughput, latency percentiles and outcome counts. Instances are drawn
+// round-robin from a pool smaller than the request count so the server's
+// result cache sees repeats.
+func runLoadgen(w io.Writer, cfg loadgenConfig) error {
+	if cfg.requests <= 0 || cfg.concurrency <= 0 || cfg.poolSize <= 0 {
+		return fmt.Errorf("loadgen: requests, concurrency and pool must be positive")
+	}
+
+	target := cfg.target
+	var selfHosted *server.Server
+	if target == "" {
+		selfHosted = server.New(server.Config{
+			Workers:    cfg.workers,
+			QueueDepth: cfg.queueDepth,
+			CacheSize:  cfg.cacheSize,
+		})
+		defer selfHosted.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: selfHosted.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Fprintf(w, "loadgen: self-hosted coverd at %s (workers=%d)\n", target, selfHosted.Workers())
+	}
+
+	instances, err := generatePool(cfg)
+	if err != nil {
+		return err
+	}
+	reqs := make([]api.SolveRequest, len(instances))
+	for i, inst := range instances {
+		raw, err := client.EncodeInstance(inst)
+		if err != nil {
+			return err
+		}
+		reqs[i] = api.SolveRequest{Instance: raw, Options: api.SolveOptions{Epsilon: cfg.eps}}
+	}
+
+	c := client.New(target)
+	ctx := context.Background()
+	if _, err := c.Health(ctx); err != nil {
+		return fmt.Errorf("loadgen: server not reachable at %s: %w", target, err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		okCount   int
+		cached    int
+		busy      int
+		failed    int
+	)
+	next := make(chan int)
+	go func() {
+		for i := 0; i < cfg.requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := reqs[i%len(reqs)]
+				t0 := time.Now()
+				res, err := c.SolveRequest(ctx, req)
+				d := time.Since(t0)
+				mu.Lock()
+				switch {
+				case errors.Is(err, client.ErrBusy):
+					busy++
+				case err != nil:
+					failed++
+				default:
+					okCount++
+					latencies = append(latencies, d)
+					if res.Cached {
+						cached++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "loadgen: %d requests (%d distinct instances: %s n=%d m=%d f=%d) via %d clients in %v\n",
+		cfg.requests, len(reqs), cfg.genKind, cfg.n, cfg.m, cfg.f, cfg.concurrency, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  ok=%d (cached=%d)  busy429=%d  failed=%d  throughput=%.1f req/s\n",
+		okCount, cached, busy, failed, float64(okCount)/elapsed.Seconds())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(latencies)-1))
+			return latencies[idx]
+		}
+		fmt.Fprintf(w, "  latency p50=%v p90=%v p99=%v max=%v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	}
+	if failed > 0 {
+		return fmt.Errorf("loadgen: %d requests failed", failed)
+	}
+	return nil
+}
+
+// generatePool builds the distinct workload instances.
+func generatePool(cfg loadgenConfig) ([]*distcover.Instance, error) {
+	out := make([]*distcover.Instance, 0, cfg.poolSize)
+	for i := 0; i < cfg.poolSize; i++ {
+		gc := hypergraph.GenConfig{
+			Seed:      cfg.seed + int64(i),
+			MaxWeight: 100,
+			Dist:      hypergraph.WeightUniformRange,
+		}
+		var (
+			g   *hypergraph.Hypergraph
+			err error
+		)
+		switch cfg.genKind {
+		case "uniform":
+			g, err = hypergraph.UniformRandom(cfg.n, cfg.m, cfg.f, gc)
+		case "regular":
+			d := cfg.m * cfg.f / cfg.n
+			if d < 1 {
+				d = 1
+			}
+			g, err = hypergraph.RegularLike(cfg.n, d, cfg.f, gc)
+		case "powerlaw":
+			g, err = hypergraph.PowerLaw(cfg.n, cfg.m, cfg.f, gc)
+		case "graph":
+			g, err = hypergraph.RandomGraph(cfg.n, cfg.m, gc)
+		default:
+			return nil, fmt.Errorf("loadgen: unknown generator %q (want uniform, regular, powerlaw, graph)", cfg.genKind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		inst, err := instanceFromHypergraph(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// instanceFromHypergraph converts through the public codec: the generators
+// live in an internal package, so the instance must enter the public API
+// the same way client payloads do.
+func instanceFromHypergraph(g *hypergraph.Hypergraph) (*distcover.Instance, error) {
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return distcover.ReadInstance(&buf)
+}

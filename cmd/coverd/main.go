@@ -1,0 +1,113 @@
+// Command coverd runs the distcover solving service: an HTTP/JSON daemon
+// with a bounded job queue, a solver worker pool and an LRU instance-result
+// cache (see distcover/server for the API).
+//
+// Usage:
+//
+//	coverd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-batch N]
+//	coverd -loadgen [-target URL] [-requests N] [-concurrency C]
+//	       [-pool K] [-gen kind] [-n N] [-m M] [-f F] [-eps ε] [-seed S]
+//
+// The first form serves until interrupted. The second form is a load
+// generator that hammers a coverd server with synthetic workloads from the
+// library's instance generators; with no -target it self-hosts a server
+// in-process first, so `coverd -loadgen` alone demonstrates the full
+// stack. The instance pool (-pool) is smaller than -requests, so repeated
+// submissions exercise the result cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distcover/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueN   = flag.Int("queue", 256, "job queue bound (full queue ⇒ 429)")
+		cacheN   = flag.Int("cache", 1024, "instance-result cache entries (-1 disables)")
+		maxBatch = flag.Int("max-batch", 4096, "max requests per batch call")
+
+		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target      = flag.String("target", "", "with -loadgen: server URL (empty = self-host in-process)")
+		requests    = flag.Int("requests", 500, "with -loadgen: total requests")
+		concurrency = flag.Int("concurrency", 16, "with -loadgen: concurrent clients")
+		poolSize    = flag.Int("pool", 50, "with -loadgen: distinct instances (duplicates hit the cache)")
+		genKind     = flag.String("gen", "uniform", "with -loadgen: workload (uniform, regular, powerlaw, graph)")
+		genN        = flag.Int("n", 200, "with -loadgen: vertices per instance")
+		genM        = flag.Int("m", 400, "with -loadgen: edges per instance")
+		genF        = flag.Int("f", 3, "with -loadgen: rank")
+		eps         = flag.Float64("eps", 1, "with -loadgen: approximation slack ε")
+		seed        = flag.Int64("seed", 1, "with -loadgen: workload seed")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		cfg := loadgenConfig{
+			target:      *target,
+			requests:    *requests,
+			concurrency: *concurrency,
+			poolSize:    *poolSize,
+			genKind:     *genKind,
+			n:           *genN,
+			m:           *genM,
+			f:           *genF,
+			eps:         *eps,
+			seed:        *seed,
+			workers:     *workers,
+			queueDepth:  *queueN,
+			cacheSize:   *cacheN,
+		}
+		if err := runLoadgen(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "coverd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queueN,
+		CacheSize:  *cacheN,
+		MaxBatch:   *maxBatch,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coverd:", err)
+		os.Exit(1)
+	}
+	log.Printf("coverd: listening on %s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), srv.Workers(), *queueN, *cacheN)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("coverd: serve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("coverd: shutting down")
+	// Let in-flight requests (and the solves they wait on) finish before
+	// closing; force-close if draining takes too long.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+}

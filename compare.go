@@ -60,7 +60,7 @@ func Compare(in *Instance, opts ...Option) ([]CompareResult, error) {
 		return nil, fmt.Errorf("distcover: %w", err)
 	}
 	out = append(out, CompareResult{
-		Algorithm:      "this work (Ben-Basat et al. DISC 2019)",
+		Algorithm:      "this work (Ben-Basat et al. PODC 2019)",
 		Guarantee:      fmt.Sprintf("f+ε = %d+%.3g", maxRank(g.Rank()), res.Epsilon),
 		Weight:         res.CoverWeight,
 		CertifiedRatio: res.RatioBound,

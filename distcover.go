@@ -1,6 +1,6 @@
 // Package distcover is a Go implementation of the time-optimal distributed
 // covering algorithms of Ben-Basat, Even, Kawarabayashi and Schwartzman,
-// "Optimal Distributed Covering Algorithms" (DISC 2019).
+// "Optimal Distributed Covering Algorithms" (PODC 2019).
 //
 // The library computes (f+ε)-approximate minimum weight vertex covers in
 // hypergraphs of rank f — equivalently, weighted set covers with element
@@ -94,6 +94,13 @@ func ReadInstance(r io.Reader) (*Instance, error) {
 
 // WriteTo serializes the instance as JSON.
 func (in *Instance) WriteTo(w io.Writer) (int64, error) { return in.g.WriteTo(w) }
+
+// Hash returns a canonical content hash of the instance (hex SHA-256 over a
+// normalized encoding of weights and edges). Instances describing the same
+// mathematical problem — regardless of edge order, vertex order within an
+// edge, or serialization formatting — hash identically, so the hash is a
+// sound key for caching solver results.
+func (in *Instance) Hash() string { return in.g.Hash() }
 
 // Stats summarizes the structural parameters of an instance.
 type Stats struct {

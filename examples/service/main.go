@@ -1,0 +1,96 @@
+// Service example: run coverd in-process and talk to it through the Go
+// client — a synchronous solve, a cache hit, an async job, and a batch.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"distcover"
+	"distcover/client"
+	"distcover/server"
+	"distcover/server/api"
+)
+
+func main() {
+	// An in-process coverd: 2 workers, small queue, result cache on.
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 32})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	inst, err := distcover.NewInstance(
+		[]int64{4, 2, 9, 3, 7, 1},
+		[][]int{{0, 1, 2}, {1, 3}, {2, 4, 5}, {0, 5}, {3, 4}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synchronous solve.
+	res, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve: cover %v weight %d (ratio ≤ %.3f, %d rounds, %.2fms)\n",
+		res.Cover, res.Weight, res.RatioBound, res.Rounds, res.ElapsedMS)
+
+	// The same instance again: served from the LRU cache.
+	res2, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("again: cached=%v (instance hash %.12s…)\n", res2.Cached, res2.InstanceHash)
+
+	// Async: submit, poll, collect.
+	raw, err := client.EncodeInstance(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := c.SolveAsync(ctx, api.SolveRequest{
+		Instance: raw,
+		Options:  api.SolveOptions{Epsilon: 0.25, Engine: api.EngineCongest},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	asyncRes, err := c.Wait(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("async: job %.8s… done, weight %d over %d congest rounds\n",
+		id, asyncRes.Weight, asyncRes.Congest.Rounds)
+
+	// Batch: several option sets over one instance in a single call.
+	items, err := c.SolveBatch(ctx, []api.SolveRequest{
+		{Instance: raw, Options: api.SolveOptions{Epsilon: 1}},
+		{Instance: raw, Options: api.SolveOptions{Epsilon: 0.1}},
+		{Instance: raw, Options: api.SolveOptions{FApprox: true}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, item := range items {
+		fmt.Printf("batch[%d]: weight %d ratio ≤ %.3f cached=%v\n",
+			i, item.Result.Weight, item.Result.RatioBound, item.Result.Cached)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("health: %s, %d workers, queue %d/%d, %d cached results\n",
+		h.Status, h.Workers, h.QueueDepth, h.QueueCapacity, h.CacheEntries)
+}

@@ -1,0 +1,3 @@
+module distcover
+
+go 1.22

@@ -1,9 +1,9 @@
 // Package bench is the experiment harness that regenerates the paper's
 // evaluation artifacts: Table 1 (distributed MWVC algorithms) and Table 2
 // (distributed MWHVC algorithms) as *measured* round counts and
-// approximation ratios, plus the theorem-shape experiments E1–E9 indexed in
-// DESIGN.md. Each experiment returns printable tables consumed by
-// cmd/benchharness and by the root-level benchmarks.
+// approximation ratios, plus the theorem-shape experiments E1–E10 indexed
+// by Registry (run `benchharness -list`). Each experiment returns printable
+// tables consumed by cmd/benchharness and by the root-level benchmarks.
 package bench
 
 import (

@@ -1,6 +1,6 @@
 // Package core implements Algorithm MWHVC from Ben-Basat, Even,
 // Kawarabayashi and Schwartzman, "Optimal Distributed Covering Algorithms"
-// (DISC 2019): a deterministic distributed (f+ε)-approximation for Minimum
+// (PODC 2019): a deterministic distributed (f+ε)-approximation for Minimum
 // Weight Hypergraph Vertex Cover in the CONGEST model whose round complexity
 // is independent of the vertex weights and the number of vertices.
 //

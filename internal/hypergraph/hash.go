@@ -1,0 +1,65 @@
+package hypergraph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// hashDomain versions the canonical encoding; bump it if the encoding
+// below ever changes so stale cache keys cannot collide across versions.
+const hashDomain = "distcover/hypergraph/v1\n"
+
+// Hash returns a canonical content hash of the hypergraph: a hex-encoded
+// SHA-256 over a normalized binary encoding of the weights and edges.
+//
+// The encoding is canonical in the sense that it identifies the instance
+// as a mathematical object, not a byte layout: vertices within an edge are
+// sorted (the Builder already stores them sorted and deduplicated) and the
+// edge list itself is hashed in lexicographic order, so two instances that
+// list the same edges in different orders hash identically. Any cover and
+// dual certificate valid for one is valid for the other, which makes the
+// hash a sound cache key for solver results.
+func (g *Hypergraph) Hash() string {
+	h := sha256.New()
+	h.Write([]byte(hashDomain))
+	var buf [binary.MaxVarintLen64]byte
+	put := func(x uint64) {
+		n := binary.PutUvarint(buf[:], x)
+		h.Write(buf[:n])
+	}
+	put(uint64(len(g.weights)))
+	for _, w := range g.weights {
+		put(uint64(w))
+	}
+	order := canonicalEdgeOrder(g.edges)
+	put(uint64(len(g.edges)))
+	for _, e := range order {
+		vs := g.edges[e]
+		put(uint64(len(vs)))
+		for _, v := range vs {
+			put(uint64(v))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalEdgeOrder returns edge indices sorted lexicographically by their
+// (already sorted) vertex lists, with shorter prefixes first.
+func canonicalEdgeOrder(edges [][]VertexID) []int {
+	order := make([]int, len(edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := edges[order[i]], edges[order[j]]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return order
+}

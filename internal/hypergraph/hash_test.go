@@ -1,0 +1,95 @@
+package hypergraph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustBuild(t *testing.T, weights []int64, edges [][]VertexID) *Hypergraph {
+	t.Helper()
+	b := NewBuilder(len(weights), len(edges))
+	for _, w := range weights {
+		b.AddVertex(w)
+	}
+	for _, e := range edges {
+		b.AddEdge(e...)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestHashDeterministic(t *testing.T) {
+	g := mustBuild(t, []int64{3, 1, 4}, [][]VertexID{{0, 1}, {1, 2}, {0, 2}})
+	h1, h2 := g.Hash(), g.Hash()
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("expected 64 hex chars, got %d (%s)", len(h1), h1)
+	}
+}
+
+func TestHashRoundTripStable(t *testing.T) {
+	g, err := UniformRandom(40, 80, 3, GenConfig{Seed: 7, MaxWeight: 50, Dist: WeightUniformRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hash() != g2.Hash() {
+		t.Fatalf("hash changed across JSON round trip: %s vs %s", g.Hash(), g2.Hash())
+	}
+}
+
+func TestHashCanonicalization(t *testing.T) {
+	base := mustBuild(t, []int64{5, 2, 8}, [][]VertexID{{0, 1}, {1, 2}})
+	// Vertices permuted within an edge: Builder sorts, so hashes agree.
+	permutedVerts := mustBuild(t, []int64{5, 2, 8}, [][]VertexID{{1, 0}, {2, 1}})
+	if base.Hash() != permutedVerts.Hash() {
+		t.Errorf("within-edge permutation changed the hash")
+	}
+	// Edges listed in a different order: canonical edge order makes them equal.
+	permutedEdges := mustBuild(t, []int64{5, 2, 8}, [][]VertexID{{1, 2}, {0, 1}})
+	if base.Hash() != permutedEdges.Hash() {
+		t.Errorf("edge-order permutation changed the hash")
+	}
+}
+
+func TestHashDistinguishesInstances(t *testing.T) {
+	a := mustBuild(t, []int64{1, 1, 1}, [][]VertexID{{0, 1}})
+	seen := map[string]string{a.Hash(): "base"}
+	cases := map[string]*Hypergraph{
+		"different weight": mustBuild(t, []int64{1, 2, 1}, [][]VertexID{{0, 1}}),
+		"different edge":   mustBuild(t, []int64{1, 1, 1}, [][]VertexID{{0, 2}}),
+		"extra edge":       mustBuild(t, []int64{1, 1, 1}, [][]VertexID{{0, 1}, {1, 2}}),
+		"extra vertex":     mustBuild(t, []int64{1, 1, 1, 1}, [][]VertexID{{0, 1}}),
+	}
+	for name, g := range cases {
+		h := g.Hash()
+		if prev, ok := seen[h]; ok {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// TestHashEmptyAndEdgeless covers degenerate shapes.
+func TestHashEmptyAndEdgeless(t *testing.T) {
+	edgeless := mustBuild(t, []int64{1, 2}, nil)
+	if edgeless.Hash() == "" {
+		t.Fatal("empty hash for edgeless graph")
+	}
+	other := mustBuild(t, []int64{2, 1}, nil)
+	if edgeless.Hash() == other.Hash() {
+		t.Fatal("weight order should matter (vertex ids are positional)")
+	}
+}

@@ -9,7 +9,7 @@
 // maximum edge cardinality, and the degree of a vertex is the number of
 // incident edges; Δ is the maximum degree. These are exactly the quantities
 // the round bounds in Ben-Basat et al., "Optimal Distributed Covering
-// Algorithms" (DISC 2019), are stated in.
+// Algorithms" (PODC 2019), are stated in.
 package hypergraph
 
 import (

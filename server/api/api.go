@@ -1,0 +1,182 @@
+// Package api defines the JSON wire types of the coverd service. Both the
+// server handlers and the Go client (distcover/client) speak these types,
+// so they live in their own dependency-free package.
+//
+// Instances travel in the exact JSON shape the library's codec already
+// uses ({"weights":[...],"edges":[[...]]}, see distcover.ReadInstance), so
+// anything that can produce an instance file can talk to the service.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Engine names for SolveOptions.Engine.
+const (
+	// EngineSim is the fast lockstep simulator (distcover.Solve); default.
+	EngineSim = "sim"
+	// EngineCongest runs the real message protocol on the deterministic
+	// sequential CONGEST engine (distcover.SolveCongest).
+	EngineCongest = "congest"
+	// EngineCongestParallel runs every CONGEST node as its own goroutine.
+	EngineCongestParallel = "congest-parallel"
+	// EngineCongestTCP moves CONGEST messages over real loopback sockets.
+	EngineCongestTCP = "congest-tcp"
+)
+
+// SolveOptions maps one-to-one onto the library's functional options.
+type SolveOptions struct {
+	// Epsilon is the approximation slack ε ∈ (0,1]; 0 means the library
+	// default (1).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// FApprox requests a clean f-approximation (ε = 1/(nW) internally).
+	FApprox bool `json:"f_approx,omitempty"`
+	// SingleLevel selects the Appendix C variant.
+	SingleLevel bool `json:"single_level,omitempty"`
+	// LocalAlpha derives the bid multiplier per edge from Δ(e).
+	LocalAlpha bool `json:"local_alpha,omitempty"`
+	// Alpha pins the bid multiplier to a constant ≥ 2 (0 = Theorem 9).
+	Alpha float64 `json:"alpha,omitempty"`
+	// MaxIterations overrides the iteration safety cap (0 = default).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Engine selects the execution path; see the Engine* constants.
+	// Empty means EngineSim.
+	Engine string `json:"engine,omitempty"`
+	// NoCache bypasses the server's instance-result cache for this request
+	// (the result is still stored for future requests).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Fingerprint returns a stable string identifying every option that can
+// change the solver output. It is combined with the instance content hash
+// to form the server's cache key. NoCache is deliberately excluded: it
+// affects lookup policy, not the result.
+func (o SolveOptions) Fingerprint() string {
+	eng := o.Engine
+	if eng == "" {
+		eng = EngineSim
+	}
+	// The in-memory congest engines produce identical solutions AND
+	// identical communication stats, so they share one cache identity.
+	// The TCP engine stays distinct: it additionally reports WireBytes,
+	// which a cached in-memory result would be missing.
+	if eng == EngineCongestParallel {
+		eng = EngineCongest
+	}
+	return fmt.Sprintf("eps=%g,fapprox=%t,single=%t,local=%t,alpha=%g,maxit=%d,engine=%s",
+		o.Epsilon, o.FApprox, o.SingleLevel, o.LocalAlpha, o.Alpha, o.MaxIterations, eng)
+}
+
+// ILPConstraint is one covering constraint Σ coefs[i]·x[vars[i]] ≥ bound.
+type ILPConstraint struct {
+	Vars  []int   `json:"vars"`
+	Coefs []int64 `json:"coefs"`
+	Bound int64   `json:"bound"`
+}
+
+// ILPSpec is a covering integer program (minimize wᵀx s.t. Ax ≥ b, x ∈ ℕⁿ)
+// solved through the paper's Theorem 19 reduction pipeline.
+type ILPSpec struct {
+	Weights     []int64         `json:"weights"`
+	Constraints []ILPConstraint `json:"constraints"`
+}
+
+// SolveRequest submits one problem. Exactly one of Instance and ILP must be
+// set: Instance carries a hypergraph vertex cover / set cover instance in
+// the library's JSON codec shape, ILP a covering integer program.
+type SolveRequest struct {
+	Instance json.RawMessage `json:"instance,omitempty"`
+	ILP      *ILPSpec        `json:"ilp,omitempty"`
+	Options  SolveOptions    `json:"options,omitempty"`
+	// Async makes POST /v1/solve return 202 with a job id immediately;
+	// poll GET /v1/jobs/{id} for the result. Ignored inside batches.
+	Async bool `json:"async,omitempty"`
+}
+
+// CongestInfo reports communication metrics for congest engines.
+type CongestInfo struct {
+	Rounds         int   `json:"rounds"`
+	Messages       int64 `json:"messages"`
+	TotalBits      int64 `json:"total_bits"`
+	MaxMessageBits int   `json:"max_message_bits"`
+	WireBytes      int64 `json:"wire_bytes,omitempty"`
+}
+
+// SolveResult is the outcome of one solve. Cover/Weight describe vertex
+// cover results; X/Value describe ILP results. The certificate fields
+// (DualLowerBound, RatioBound) hold for both: the reported objective is at
+// most RatioBound times the optimum.
+type SolveResult struct {
+	Cover          []int        `json:"cover,omitempty"`
+	Weight         int64        `json:"weight,omitempty"`
+	X              []int64      `json:"x,omitempty"`
+	Value          int64        `json:"value,omitempty"`
+	DualLowerBound float64      `json:"dual_lower_bound"`
+	RatioBound     float64      `json:"ratio_bound"`
+	Epsilon        float64      `json:"epsilon,omitempty"`
+	Iterations     int          `json:"iterations"`
+	Rounds         int          `json:"rounds"`
+	Congest        *CongestInfo `json:"congest,omitempty"`
+	// InstanceHash is the canonical content hash used as the cache key.
+	InstanceHash string `json:"instance_hash,omitempty"`
+	// Cached reports whether the result was served from the instance cache.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the solver wall time in milliseconds (0 when cached).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// BatchRequest submits several problems at once. Items are solved through
+// the same worker pool as single requests; the call returns when all items
+// finish.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchItem is the per-item outcome of a batch: exactly one of Result and
+// Error is set.
+type BatchItem struct {
+	Result *SolveResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// BatchResponse mirrors BatchRequest.Requests index by index.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus describes an async job.
+type JobStatus struct {
+	ID     string       `json:"id"`
+	Status string       `json:"status"`
+	Result *SolveResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// JobAccepted is the 202 response of an async submit.
+type JobAccepted struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	Status        string `json:"status"`
+	Workers       int    `json:"workers"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	CacheEntries  int    `json:"cache_entries"`
+}
+
+// Error is the JSON error envelope for non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}

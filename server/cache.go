@@ -1,0 +1,77 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"distcover/server/api"
+)
+
+// resultCache is a thread-safe LRU cache of solver results keyed by
+// instance content hash + option fingerprint. A capacity of 0 disables it.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	result *api.SolveResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns a copy of the cached result with Cached set, or nil.
+func (c *resultCache) get(key string) *api.SolveResult {
+	if c.capacity <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	res := *el.Value.(*cacheEntry).result
+	res.Cached = true
+	res.ElapsedMS = 0
+	return &res
+}
+
+// put stores a result, evicting the least recently used entry when full.
+// The stored value is copied so later mutations by the caller are invisible.
+func (c *resultCache) put(key string, res *api.SolveResult) {
+	if c.capacity <= 0 || res == nil {
+		return
+	}
+	stored := *res
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = &stored
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: &stored})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current number of entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"distcover/server/api"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", &api.SolveResult{Weight: 1})
+	c.put("b", &api.SolveResult{Weight: 2})
+	if c.get("a") == nil {
+		t.Fatal("a should be cached")
+	}
+	// a is now most recent; inserting c must evict b.
+	c.put("c", &api.SolveResult{Weight: 3})
+	if c.get("b") != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if c.get("a") == nil || c.get("c") == nil {
+		t.Fatal("a and c should remain")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheCopiesResults(t *testing.T) {
+	c := newResultCache(4)
+	orig := &api.SolveResult{Weight: 7, ElapsedMS: 3.5}
+	c.put("k", orig)
+	orig.Weight = 999 // caller mutation must not leak into the cache
+
+	got := c.get("k")
+	if got == nil {
+		t.Fatal("missing entry")
+	}
+	if got.Weight != 7 {
+		t.Fatalf("cached value mutated: weight %d", got.Weight)
+	}
+	if !got.Cached || got.ElapsedMS != 0 {
+		t.Fatalf("cache hit should set Cached and zero ElapsedMS: %+v", got)
+	}
+	got.Weight = 123
+	if again := c.get("k"); again.Weight != 7 {
+		t.Fatal("mutating a returned result must not affect the cache")
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.put("k", &api.SolveResult{Weight: 1})
+	c.put("k", &api.SolveResult{Weight: 2})
+	if c.len() != 1 {
+		t.Fatalf("duplicate key should overwrite, len = %d", c.len())
+	}
+	if got := c.get("k"); got.Weight != 2 {
+		t.Fatalf("weight = %d, want 2", got.Weight)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.put("k", &api.SolveResult{Weight: 1})
+	if c.get("k") != nil {
+		t.Fatal("disabled cache should never hit")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%24)
+				c.put(key, &api.SolveResult{Weight: int64(i)})
+				c.get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 16 {
+		t.Fatalf("cache exceeded capacity: %d", c.len())
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := api.SolveOptions{Epsilon: 0.5}
+	variants := []api.SolveOptions{
+		{Epsilon: 0.25},
+		{Epsilon: 0.5, FApprox: true},
+		{Epsilon: 0.5, SingleLevel: true},
+		{Epsilon: 0.5, LocalAlpha: true},
+		{Epsilon: 0.5, Alpha: 4},
+		{Epsilon: 0.5, MaxIterations: 9},
+		{Epsilon: 0.5, Engine: api.EngineCongest},
+	}
+	seen := map[string]bool{base.Fingerprint(): true}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if seen[fp] {
+			t.Errorf("variant %d fingerprint collides: %s", i, fp)
+		}
+		seen[fp] = true
+	}
+	// NoCache and the congest engine flavor must NOT change the identity.
+	if fp := (api.SolveOptions{Epsilon: 0.5, NoCache: true}).Fingerprint(); fp != base.Fingerprint() {
+		t.Error("NoCache changed the fingerprint")
+	}
+	par := api.SolveOptions{Epsilon: 0.5, Engine: api.EngineCongestParallel}.Fingerprint()
+	seq := api.SolveOptions{Epsilon: 0.5, Engine: api.EngineCongest}.Fingerprint()
+	if par != seq {
+		t.Error("in-memory congest engine flavors should share a cache identity")
+	}
+	// The TCP engine reports WireBytes, so it must not share results with
+	// the in-memory engines.
+	tcp := api.SolveOptions{Epsilon: 0.5, Engine: api.EngineCongestTCP}.Fingerprint()
+	if tcp == seq {
+		t.Error("congest-tcp must have its own cache identity (WireBytes)")
+	}
+}

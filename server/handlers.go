@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"distcover/server/api"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// handleSolve solves one instance. Synchronous by default: the handler
+// submits the job and waits. With "async":true it returns 202 + a job id
+// immediately. A full queue yields 429 in both modes.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req api.SolveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	j, err := s.buildJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if res := s.lookupCache(j); res != nil {
+		if req.Async {
+			// Complete the job up front so the poll endpoint works
+			// uniformly whether or not the result was cached.
+			j.complete(res, nil)
+			s.jobs.add(j)
+			writeJSON(w, http.StatusAccepted, api.JobAccepted{ID: j.id, Status: api.JobDone})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+
+	if req.Async {
+		s.jobs.add(j)
+		if err := s.queue.tryEnqueue(j); err != nil {
+			s.jobs.remove(j.id)
+			s.rejectFull(w)
+			return
+		}
+		s.metrics.recordSubmit()
+		writeJSON(w, http.StatusAccepted, api.JobAccepted{ID: j.id, Status: api.JobQueued})
+		return
+	}
+
+	if err := s.queue.tryEnqueue(j); err != nil {
+		s.rejectFull(w)
+		return
+	}
+	s.metrics.recordSubmit()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client went away; the worker will still complete the job (and
+		// populate the cache), there is just nobody to tell.
+		return
+	}
+	st := j.snapshot()
+	if st.Error != "" {
+		writeError(w, http.StatusUnprocessableEntity, "solve failed: %s", st.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Result)
+}
+
+// handleBatch solves many instances through the same queue and pool. Items
+// stream through the bounded queue with blocking enqueue, so a batch larger
+// than the queue still completes; only MaxBatch bounds the request itself.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch)
+		return
+	}
+	s.metrics.recordBatch()
+
+	items := make([]api.BatchItem, len(req.Requests))
+	jobs := make([]*job, len(req.Requests))
+	for i, sub := range req.Requests {
+		j, err := s.buildJob(sub)
+		if err != nil {
+			items[i] = api.BatchItem{Error: err.Error()}
+			continue
+		}
+		if res := s.lookupCache(j); res != nil {
+			items[i] = api.BatchItem{Result: res}
+			continue
+		}
+		if err := s.queue.enqueue(r.Context(), j); err != nil {
+			items[i] = api.BatchItem{Error: "not scheduled: " + err.Error()}
+			continue
+		}
+		s.metrics.recordSubmit()
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+		st := j.snapshot()
+		if st.Error != "" {
+			items[i] = api.BatchItem{Error: st.Error}
+		} else {
+			items[i] = api.BatchItem{Result: st.Result}
+		}
+	}
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: items})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.queue.depth(),
+		QueueCapacity: s.queue.capacity(),
+		CacheEntries:  s.cache.len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, []gauge{
+		{"coverd_queue_depth", "Jobs waiting in the bounded queue.", float64(s.queue.depth())},
+		{"coverd_queue_capacity", "Configured queue bound.", float64(s.queue.capacity())},
+		{"coverd_workers", "Configured worker pool size.", float64(s.cfg.Workers)},
+		{"coverd_cache_entries", "Entries in the instance-result cache.", float64(s.cache.len())},
+	})
+}
+
+// rejectFull emits the 429 backpressure response.
+func (s *Server) rejectFull(w http.ResponseWriter) {
+	s.metrics.recordBackpressure()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "job queue full (capacity %d); retry later", s.queue.capacity())
+}

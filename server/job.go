@@ -1,0 +1,143 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+
+	"distcover"
+	"distcover/server/api"
+)
+
+// job is one unit of work flowing through the queue to the worker pool.
+// Exactly one of inst and ilp is non-nil. done is closed when result/err
+// are final; status transitions queued → running → done|failed.
+type job struct {
+	id       string
+	inst     *distcover.Instance
+	ilp      *distcover.ILP
+	opts     api.SolveOptions
+	hash     string // canonical content hash of the problem
+	cacheKey string // hash + option fingerprint; "" when not cacheable
+
+	mu     sync.Mutex
+	status string
+	result *api.SolveResult
+	err    error
+	done   chan struct{}
+}
+
+func newJob(inst *distcover.Instance, ilp *distcover.ILP, opts api.SolveOptions, hash, cacheKey string) *job {
+	return &job{
+		id:       newJobID(),
+		inst:     inst,
+		ilp:      ilp,
+		opts:     opts,
+		hash:     hash,
+		cacheKey: cacheKey,
+		status:   api.JobQueued,
+		done:     make(chan struct{}),
+	}
+}
+
+func newJobID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("coverd: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = api.JobRunning
+	j.mu.Unlock()
+}
+
+// complete finalizes the job exactly once.
+func (j *job) complete(res *api.SolveResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == api.JobDone || j.status == api.JobFailed {
+		return
+	}
+	if err != nil {
+		j.status = api.JobFailed
+		j.err = err
+	} else {
+		j.status = api.JobDone
+		j.result = res
+	}
+	close(j.done)
+}
+
+// finished reports whether the job reached a terminal state.
+func (j *job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == api.JobDone || j.status == api.JobFailed
+}
+
+// snapshot returns the job's externally visible state.
+func (j *job) snapshot() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.JobStatus{ID: j.id, Status: j.status, Result: j.result}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// jobRegistry tracks async jobs by id so GET /v1/jobs/{id} can find them.
+// Finished jobs are retained FIFO up to a bound; the oldest are dropped to
+// keep the registry from growing without limit under sustained traffic.
+type jobRegistry struct {
+	mu       sync.Mutex
+	byID     map[string]*job
+	retained []string // ids in insertion order, for eviction
+	capacity int
+}
+
+func newJobRegistry(capacity int) *jobRegistry {
+	return &jobRegistry{byID: make(map[string]*job), capacity: capacity}
+}
+
+func (r *jobRegistry) add(j *job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byID[j.id] = j
+	r.retained = append(r.retained, j.id)
+	// Evict oldest *finished* jobs only: queued/running jobs must stay
+	// pollable, and their number is already bounded by queue depth +
+	// worker count, so skipping them cannot grow the registry unboundedly.
+	for i := 0; len(r.retained) > r.capacity && i < len(r.retained); {
+		old, ok := r.byID[r.retained[i]]
+		if ok && !old.finished() {
+			i++
+			continue
+		}
+		delete(r.byID, r.retained[i])
+		r.retained = append(r.retained[:i], r.retained[i+1:]...)
+	}
+}
+
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.byID[id]
+	return j, ok
+}
+
+// remove forgets a job (used when an async submit fails to enqueue).
+func (r *jobRegistry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byID, id)
+	for i, rid := range r.retained {
+		if rid == id {
+			r.retained = append(r.retained[:i], r.retained[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve latency
+// histogram, spanning sub-millisecond simulator runs to multi-second
+// congest-over-TCP runs.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Metrics aggregates the service counters exported at GET /metrics in
+// Prometheus text exposition format. All methods are safe for concurrent
+// use; gauges (queue depth, cache size) are sampled at scrape time by the
+// server, not stored here.
+type Metrics struct {
+	mu            sync.Mutex
+	solvesOK      int64
+	solvesErr     int64
+	cacheHits     int64
+	cacheMisses   int64
+	backpressured int64 // submits rejected with 429
+	jobsSubmitted int64
+	batchRequests int64
+	bucketCounts  []int64 // parallel to latencyBuckets, non-cumulative
+	latencySum    float64 // seconds
+	latencyCount  int64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{bucketCounts: make([]int64, len(latencyBuckets))}
+}
+
+func (m *Metrics) recordSolve(seconds float64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.solvesErr++
+		return
+	}
+	m.solvesOK++
+	m.latencySum += seconds
+	m.latencyCount++
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			m.bucketCounts[i]++
+			break
+		}
+	}
+}
+
+func (m *Metrics) recordCache(hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMisses++
+	}
+}
+
+func (m *Metrics) recordBackpressure() {
+	m.mu.Lock()
+	m.backpressured++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordSubmit() {
+	m.mu.Lock()
+	m.jobsSubmitted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordBatch() {
+	m.mu.Lock()
+	m.batchRequests++
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the counters, used by tests and by
+// operators who prefer JSON over the Prometheus endpoint.
+type Snapshot struct {
+	SolvesOK      int64   `json:"solves_ok"`
+	SolvesErr     int64   `json:"solves_err"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	Backpressured int64   `json:"backpressured"`
+	JobsSubmitted int64   `json:"jobs_submitted"`
+	BatchRequests int64   `json:"batch_requests"`
+	LatencySum    float64 `json:"latency_sum_seconds"`
+	LatencyCount  int64   `json:"latency_count"`
+
+	buckets []int64 // non-cumulative histogram counts, parallel to latencyBuckets
+}
+
+// Snapshot returns a consistent copy of all counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		buckets:       append([]int64(nil), m.bucketCounts...),
+		SolvesOK:      m.solvesOK,
+		SolvesErr:     m.solvesErr,
+		CacheHits:     m.cacheHits,
+		CacheMisses:   m.cacheMisses,
+		Backpressured: m.backpressured,
+		JobsSubmitted: m.jobsSubmitted,
+		BatchRequests: m.batchRequests,
+		LatencySum:    m.latencySum,
+		LatencyCount:  m.latencyCount,
+	}
+}
+
+// gauge is a named instantaneous value supplied by the server at scrape
+// time (queue depth, worker count, cache entries).
+type gauge struct {
+	name, help string
+	value      float64
+}
+
+// writePrometheus renders all counters plus the supplied gauges in the
+// Prometheus text exposition format (version 0.0.4).
+func (m *Metrics) writePrometheus(w io.Writer, gauges []gauge) {
+	s := m.Snapshot()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP coverd_solves_total Completed solve attempts by outcome.\n# TYPE coverd_solves_total counter\n")
+	fmt.Fprintf(w, "coverd_solves_total{outcome=\"ok\"} %d\n", s.SolvesOK)
+	fmt.Fprintf(w, "coverd_solves_total{outcome=\"error\"} %d\n", s.SolvesErr)
+	counter("coverd_cache_hits_total", "Solve requests served from the instance-result cache.", s.CacheHits)
+	counter("coverd_cache_misses_total", "Solve requests that missed the instance-result cache.", s.CacheMisses)
+	counter("coverd_backpressure_total", "Submits rejected with 429 because the job queue was full.", s.Backpressured)
+	counter("coverd_jobs_submitted_total", "Jobs accepted into the queue.", s.JobsSubmitted)
+	counter("coverd_batch_requests_total", "Batch solve requests received.", s.BatchRequests)
+
+	fmt.Fprintf(w, "# HELP coverd_solve_seconds Solver wall time of successful solves.\n# TYPE coverd_solve_seconds histogram\n")
+	cumulative := int64(0)
+	for i, le := range latencyBuckets {
+		cumulative += s.buckets[i]
+		fmt.Fprintf(w, "coverd_solve_seconds_bucket{le=\"%g\"} %d\n", le, cumulative)
+	}
+	fmt.Fprintf(w, "coverd_solve_seconds_bucket{le=\"+Inf\"} %d\n", s.LatencyCount)
+	fmt.Fprintf(w, "coverd_solve_seconds_sum %g\n", s.LatencySum)
+	fmt.Fprintf(w, "coverd_solve_seconds_count %d\n", s.LatencyCount)
+
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrQueueFull is returned by tryEnqueue when the bounded job queue is at
+// capacity; handlers translate it into HTTP 429 so clients back off.
+var ErrQueueFull = errors.New("coverd: job queue full")
+
+// jobQueue is a bounded FIFO of pending jobs. The bound is the server's
+// backpressure mechanism: when producers outrun the worker pool the queue
+// fills and non-blocking submits fail fast instead of piling up goroutines
+// and memory.
+type jobQueue struct {
+	ch chan *job
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	return &jobQueue{ch: make(chan *job, capacity)}
+}
+
+// tryEnqueue adds the job if capacity allows, otherwise ErrQueueFull.
+func (q *jobQueue) tryEnqueue(j *job) error {
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// enqueue blocks until the job is accepted or ctx is done. Batch handlers
+// use it so a large batch streams through a small queue instead of failing.
+func (q *jobQueue) enqueue(ctx context.Context, j *job) error {
+	select {
+	case q.ch <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int { return len(q.ch) }
+
+// capacity returns the queue bound.
+func (q *jobQueue) capacity() int { return cap(q.ch) }

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"distcover/server/api"
+)
+
+func TestQueueBackpressure(t *testing.T) {
+	q := newJobQueue(2)
+	j := func() *job { return newJob(nil, nil, api.SolveOptions{}, "h", "k") }
+	if err := q.tryEnqueue(j()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.tryEnqueue(j()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.tryEnqueue(j()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if q.depth() != 2 || q.capacity() != 2 {
+		t.Fatalf("depth=%d capacity=%d, want 2/2", q.depth(), q.capacity())
+	}
+}
+
+func TestQueueBlockingEnqueue(t *testing.T) {
+	q := newJobQueue(1)
+	if err := q.tryEnqueue(newJob(nil, nil, api.SolveOptions{}, "h", "k")); err != nil {
+		t.Fatal(err)
+	}
+	// Blocking enqueue proceeds once a consumer drains the queue.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		<-q.ch
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := q.enqueue(ctx, newJob(nil, nil, api.SolveOptions{}, "h", "k")); err != nil {
+		t.Fatalf("blocking enqueue: %v", err)
+	}
+	// With no consumer, a canceled context unblocks the producer.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	if err := q.enqueue(ctx2, newJob(nil, nil, api.SolveOptions{}, "h", "k")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestJobRegistryEviction(t *testing.T) {
+	r := newJobRegistry(2)
+	j1, j2, j3 := newJob(nil, nil, api.SolveOptions{}, "", ""), newJob(nil, nil, api.SolveOptions{}, "", ""), newJob(nil, nil, api.SolveOptions{}, "", "")
+	j1.complete(nil, nil)
+	j2.complete(nil, nil)
+	r.add(j1)
+	r.add(j2)
+	r.add(j3)
+	if _, ok := r.get(j1.id); ok {
+		t.Fatal("oldest finished job should have been evicted")
+	}
+	if _, ok := r.get(j3.id); !ok {
+		t.Fatal("newest job missing")
+	}
+	r.remove(j3.id)
+	if _, ok := r.get(j3.id); ok {
+		t.Fatal("removed job still present")
+	}
+}
+
+// TestJobRegistrySkipsUnfinished ensures a queued/running async job is
+// never evicted while a client can still poll for it.
+func TestJobRegistrySkipsUnfinished(t *testing.T) {
+	r := newJobRegistry(2)
+	running := newJob(nil, nil, api.SolveOptions{}, "", "")
+	running.setRunning()
+	r.add(running)
+	for i := 0; i < 5; i++ {
+		done := newJob(nil, nil, api.SolveOptions{}, "", "")
+		done.complete(nil, nil)
+		r.add(done)
+	}
+	if _, ok := r.get(running.id); !ok {
+		t.Fatal("running job was evicted while still pollable")
+	}
+	// Once finished it becomes evictable again.
+	running.complete(nil, nil)
+	for i := 0; i < 3; i++ {
+		done := newJob(nil, nil, api.SolveOptions{}, "", "")
+		done.complete(nil, nil)
+		r.add(done)
+	}
+	if _, ok := r.get(running.id); ok {
+		t.Fatal("finished job should eventually be evicted")
+	}
+}

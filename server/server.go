@@ -1,0 +1,175 @@
+// Package server implements coverd, a long-running HTTP/JSON service that
+// exposes the library's distributed covering solvers to many concurrent
+// clients. Built entirely on the standard library, it consists of:
+//
+//   - a bounded job queue (backpressure: full queue ⇒ HTTP 429),
+//   - a fixed-size worker pool (one solver goroutine per worker),
+//   - an LRU instance-result cache keyed by the canonical content hash of
+//     the instance (Instance.Hash) plus an option fingerprint,
+//   - an async job registry for fire-and-poll workloads,
+//   - Prometheus-format metrics (solve counts, latency histogram, cache
+//     hit/miss, queue depth).
+//
+// Endpoints:
+//
+//	POST /v1/solve        solve one instance (sync, or async with "async":true)
+//	POST /v1/solve/batch  solve many instances through the same pool
+//	GET  /v1/jobs/{id}    status/result of an async job
+//	GET  /healthz         liveness + queue/cache stats
+//	GET  /metrics         Prometheus text format
+//
+// See distcover/server/api for the wire types and distcover/client for the
+// Go client.
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"distcover"
+	"distcover/server/api"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// Workers is the solver pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; submits beyond it fail with 429
+	// (default 256).
+	QueueDepth int
+	// CacheSize is the LRU instance-result cache capacity in entries;
+	// 0 uses the default 1024, negative disables caching.
+	CacheSize int
+	// MaxBatch caps the number of requests in one batch (default 4096).
+	MaxBatch int
+	// MaxBodyBytes caps request body size (default 32 MiB).
+	MaxBodyBytes int64
+	// JobCapacity bounds how many async jobs are retained for polling
+	// (default 4096).
+	JobCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 1024
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.JobCapacity <= 0 {
+		c.JobCapacity = 4096
+	}
+	return c
+}
+
+// Server is the coverd service. Create with New, expose via Handler, and
+// stop with Close.
+type Server struct {
+	cfg     Config
+	queue   *jobQueue
+	pool    *workerPool
+	cache   *resultCache
+	metrics *Metrics
+	jobs    *jobRegistry
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   newJobQueue(cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		jobs:    newJobRegistry(cfg.JobCapacity),
+	}
+	s.pool = newWorkerPool(cfg.Workers, s.queue, s.cache, s.metrics)
+	s.pool.start()
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler serving the coverd API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics registry (tests, embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops the worker pool; queued jobs fail, in-flight solves finish.
+func (s *Server) Close() { s.pool.close() }
+
+// Workers returns the configured worker pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// buildJob validates a SolveRequest and turns it into a queueable job.
+func (s *Server) buildJob(req api.SolveRequest) (*job, error) {
+	switch {
+	case len(req.Instance) > 0 && req.ILP != nil:
+		return nil, fmt.Errorf("request sets both instance and ilp")
+	case len(req.Instance) > 0:
+		inst, err := distcover.ReadInstance(bytes.NewReader(req.Instance))
+		if err != nil {
+			return nil, err
+		}
+		hash := inst.Hash()
+		return newJob(inst, nil, req.Options, hash, hash+"|"+req.Options.Fingerprint()), nil
+	case req.ILP != nil:
+		ilp := distcover.NewILP(req.ILP.Weights)
+		for i, c := range req.ILP.Constraints {
+			if err := ilp.AddConstraint(c.Vars, c.Coefs, c.Bound); err != nil {
+				return nil, fmt.Errorf("constraint %d: %w", i, err)
+			}
+		}
+		if err := ilp.Validate(); err != nil {
+			return nil, err
+		}
+		hash := hashILP(req.ILP)
+		return newJob(nil, ilp, req.Options, hash, hash+"|"+req.Options.Fingerprint()), nil
+	default:
+		return nil, fmt.Errorf("request must set instance or ilp")
+	}
+}
+
+// hashILP content-hashes an ILP spec. json.Marshal of the spec struct is
+// deterministic (fixed field order, ordered slices), so this is canonical
+// up to the textual program representation.
+func hashILP(spec *api.ILPSpec) string {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		// Marshal of plain ints/slices cannot fail; guard anyway.
+		return ""
+	}
+	sum := sha256.Sum256(append([]byte("distcover/ilp/v1\n"), data...))
+	return hex.EncodeToString(sum[:])
+}
+
+// lookupCache serves a request from the cache if allowed, recording
+// hit/miss metrics. Returns nil on miss.
+func (s *Server) lookupCache(j *job) *api.SolveResult {
+	if j.cacheKey == "" || j.opts.NoCache {
+		return nil
+	}
+	res := s.cache.get(j.cacheKey)
+	s.metrics.recordCache(res != nil)
+	return res
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"distcover"
+	"distcover/server/api"
+)
+
+// workerPool runs a fixed number of solver goroutines over the job queue.
+// One goroutine per worker: solves are CPU-bound, so the pool size bounds
+// solver parallelism while the queue bound limits memory under overload.
+type workerPool struct {
+	queue   *jobQueue
+	cache   *resultCache
+	metrics *Metrics
+	size    int
+	stop    chan struct{}
+	idle    chan struct{} // one token per worker, returned on exit
+}
+
+func newWorkerPool(size int, q *jobQueue, cache *resultCache, metrics *Metrics) *workerPool {
+	return &workerPool{
+		queue:   q,
+		cache:   cache,
+		metrics: metrics,
+		size:    size,
+		stop:    make(chan struct{}),
+		idle:    make(chan struct{}, size),
+	}
+}
+
+func (p *workerPool) start() {
+	for i := 0; i < p.size; i++ {
+		go p.worker()
+	}
+}
+
+func (p *workerPool) worker() {
+	defer func() { p.idle <- struct{}{} }()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case j := <-p.queue.ch:
+			p.run(j)
+		}
+	}
+}
+
+// close stops the workers, waits for in-flight solves to finish, then
+// fails any jobs still sitting in the queue so their waiters unblock.
+func (p *workerPool) close() {
+	close(p.stop)
+	for i := 0; i < p.size; i++ {
+		<-p.idle
+	}
+	for {
+		select {
+		case j := <-p.queue.ch:
+			j.complete(nil, fmt.Errorf("coverd: server shutting down"))
+		default:
+			return
+		}
+	}
+}
+
+// run executes one job: cache lookup, solve, cache fill, metrics.
+func (p *workerPool) run(j *job) {
+	j.setRunning()
+	// A second lookup here (the handler already checked at submit time)
+	// catches duplicates that were queued behind the first computation of
+	// the same instance.
+	if j.cacheKey != "" && !j.opts.NoCache {
+		if res := p.cache.get(j.cacheKey); res != nil {
+			p.metrics.recordCache(true)
+			j.complete(res, nil)
+			return
+		}
+	}
+	start := time.Now()
+	res, err := solve(j.inst, j.ilp, j.opts)
+	elapsed := time.Since(start)
+	p.metrics.recordSolve(elapsed.Seconds(), err)
+	if err != nil {
+		j.complete(nil, err)
+		return
+	}
+	res.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	res.InstanceHash = j.hash
+	if j.cacheKey != "" {
+		p.cache.put(j.cacheKey, res)
+	}
+	j.complete(res, nil)
+}
+
+// solve maps api.SolveOptions onto the library's functional options and
+// dispatches to the right execution path.
+func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*api.SolveResult, error) {
+	var opts []distcover.Option
+	if o.FApprox {
+		opts = append(opts, distcover.WithFApproximation())
+	} else if o.Epsilon != 0 {
+		opts = append(opts, distcover.WithEpsilon(o.Epsilon))
+	}
+	if o.SingleLevel {
+		opts = append(opts, distcover.WithSingleLevelVariant())
+	}
+	if o.LocalAlpha {
+		opts = append(opts, distcover.WithLocalAlpha())
+	}
+	if o.Alpha != 0 {
+		opts = append(opts, distcover.WithFixedAlpha(o.Alpha))
+	}
+	if o.MaxIterations != 0 {
+		opts = append(opts, distcover.WithMaxIterations(o.MaxIterations))
+	}
+
+	if ilp != nil {
+		sol, err := distcover.SolveILP(ilp, opts...)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if sol.DualLowerBound > 0 {
+			ratio = float64(sol.Value) / sol.DualLowerBound
+		}
+		return &api.SolveResult{
+			X:              sol.X,
+			Value:          sol.Value,
+			DualLowerBound: sol.DualLowerBound,
+			RatioBound:     ratio,
+			Iterations:     sol.Iterations,
+			Rounds:         sol.Rounds,
+		}, nil
+	}
+
+	switch o.Engine {
+	case "", api.EngineSim:
+		sol, err := distcover.Solve(inst, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return coverResult(sol, nil), nil
+	case api.EngineCongest, api.EngineCongestParallel, api.EngineCongestTCP:
+		if o.Engine == api.EngineCongestParallel {
+			opts = append(opts, distcover.WithParallelEngine())
+		}
+		if o.Engine == api.EngineCongestTCP {
+			opts = append(opts, distcover.WithTCPEngine())
+		}
+		sol, stats, err := distcover.SolveCongest(inst, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return coverResult(sol, stats), nil
+	default:
+		return nil, fmt.Errorf("coverd: unknown engine %q", o.Engine)
+	}
+}
+
+func coverResult(sol *distcover.Solution, stats *distcover.CongestStats) *api.SolveResult {
+	res := &api.SolveResult{
+		Cover:          sol.Cover,
+		Weight:         sol.Weight,
+		DualLowerBound: sol.DualLowerBound,
+		RatioBound:     sol.RatioBound,
+		Epsilon:        sol.Epsilon,
+		Iterations:     sol.Iterations,
+		Rounds:         sol.Rounds,
+	}
+	if stats != nil {
+		res.Congest = &api.CongestInfo{
+			Rounds:         stats.Rounds,
+			Messages:       stats.Messages,
+			TotalBits:      stats.TotalBits,
+			MaxMessageBits: stats.MaxMessageBits,
+			WireBytes:      stats.WireBytes,
+		}
+	}
+	return res
+}
