@@ -4,13 +4,24 @@
 //
 // Usage:
 //
-//	benchharness [-exp all|T1|T2|E1..E10] [-quick] [-seed N] [-list]
-//	             [-json file]
+//	benchharness [-exp all|T1|T2|E1..E11] [-quick] [-seed N] [-list]
+//	             [-json file] [-baseline file] [-writebaseline file]
+//	             [-tol frac] [-portable]
 //
 // Full sweeps take a few minutes; -quick shrinks them to seconds. With
 // -json the results are additionally written to the given file as
 // machine-readable JSON (e.g. BENCH_results.json), so successive runs can
 // be diffed to track the performance trajectory across changes.
+//
+// -baseline re-measures the engine-throughput suite (E11) and compares the
+// readings against the committed baseline file, exiting non-zero when any
+// regresses beyond -tol (default: the baseline's own tolerance).
+// -portable restricts the comparison to machine-independent readings
+// (rounds, message counts, speedup ratios), skipping raw wall-clock ns —
+// this is what CI's bench job runs, because its runners are not the
+// machine the committed baseline was recorded on. -writebaseline measures
+// and merges the readings into the given file, so one full run and one
+// -quick run accumulate both modes into BENCH_baseline.json.
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"distcover/internal/bench"
 )
@@ -31,11 +43,15 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E10)")
-		quick    = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
-		seed     = flag.Int64("seed", 42, "workload generation seed")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		jsonPath = flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_results.json)")
+		exp       = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E11)")
+		quick     = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
+		seed      = flag.Int64("seed", 42, "workload generation seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		jsonPath  = flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_results.json)")
+		baseline  = flag.String("baseline", "", "compare engine-throughput readings against this baseline file; exit 1 on regression")
+		writeBase = flag.String("writebaseline", "", "measure engine throughput and merge the readings into this baseline file")
+		tol       = flag.Float64("tol", 0, "regression tolerance as a fraction; >0 overrides the baseline's default and per-entry tolerances (0 = use them)")
+		portable  = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, speedup ratios), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
 	)
 	flag.Parse()
 	if *list {
@@ -44,7 +60,13 @@ func run() error {
 		}
 		return nil
 	}
-	tables, err := bench.Run(*exp, bench.Config{Quick: *quick, Seed: *seed})
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	if *baseline != "" || *writeBase != "" {
+		// Baseline mode runs the engine-throughput suite only; -exp does not
+		// apply (run the command again without -baseline for other tables).
+		return runBaseline(cfg, *baseline, *writeBase, *jsonPath, *tol, *portable)
+	}
+	tables, err := bench.Run(*exp, cfg)
 	if err != nil {
 		return err
 	}
@@ -56,6 +78,95 @@ func run() error {
 			return fmt.Errorf("-json: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "benchharness: wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// runBaseline measures the engine-throughput suite and either merges the
+// readings into a baseline file (-writebaseline) or compares against one
+// (-baseline), returning an error — non-zero exit — on any regression.
+func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol float64, portable bool) error {
+	ms, tables, err := bench.MeasureEngines(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, "E11", cfg.Quick, cfg.Seed, tables); err != nil {
+			return fmt.Errorf("-json: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchharness: wrote %s\n", jsonPath)
+	}
+	if writePath != "" {
+		b := &bench.Baseline{Tolerance: 0.20}
+		if prev, err := bench.ReadBaseline(writePath); err == nil {
+			b = prev
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("-writebaseline: %w", err)
+		}
+		b.Merge(ms)
+		if err := bench.WriteBaseline(writePath, b); err != nil {
+			return fmt.Errorf("-writebaseline: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchharness: wrote %s (%d measurements)\n", writePath, len(b.Measurements))
+	}
+	if comparePath != "" {
+		b, err := bench.ReadBaseline(comparePath)
+		if err != nil {
+			return fmt.Errorf("-baseline: %w", err)
+		}
+		cur := ms
+		if portable {
+			cur = cur[:0:0]
+			for _, m := range ms {
+				if m.Unit != "ns" {
+					cur = append(cur, m)
+				}
+			}
+		}
+		results, skipped := bench.Compare(b, cur, tol)
+		// The inverse direction matters too: a current reading with no
+		// baseline entry (a newly added workload or engine) is ungated, so
+		// force the baseline refresh instead of passing green around it.
+		inBase := make(map[string]bool, len(b.Measurements))
+		for _, m := range b.Measurements {
+			inBase[m.Name] = true
+		}
+		var unmatched []string
+		for _, m := range cur {
+			if !inBase[m.Name] {
+				unmatched = append(unmatched, m.Name)
+			}
+		}
+		if len(unmatched) > 0 {
+			return fmt.Errorf("%d measurement(s) have no entry in %s (refresh it with -writebaseline): %s",
+				len(unmatched), comparePath, strings.Join(unmatched, ", "))
+		}
+		for _, r := range results {
+			status := "ok"
+			if r.Regressed {
+				status = "REGRESSED"
+			}
+			fmt.Printf("%-60s baseline %12.4g  current %12.4g  %s\n", r.Name, r.Baseline, r.Current, status)
+		}
+		if len(skipped) > 0 {
+			fmt.Fprintf(os.Stderr, "benchharness: %d baseline entries not re-measured in this mode (skipped)\n", len(skipped))
+		}
+		if regs := bench.Regressions(results); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "benchharness: regression:", r)
+			}
+			return fmt.Errorf("%d benchmark regression(s) vs %s", len(regs), comparePath)
+		}
+		// A gate that compared nothing protects nothing: this happens when
+		// measurement names drift from the committed baseline (e.g. a
+		// renamed workload), and must fail loudly instead of passing green.
+		if len(results) == 0 {
+			return fmt.Errorf("no baseline entries matched the current measurements (%d skipped) — refresh %s with -writebaseline", len(skipped), comparePath)
+		}
+		fmt.Fprintf(os.Stderr, "benchharness: no regressions vs %s (%d compared)\n", comparePath, len(results))
 	}
 	return nil
 }

@@ -7,13 +7,14 @@
 // Usage:
 //
 //	covercli [-in file] [-eps ε] [-f-approx] [-single-level] [-local-alpha]
-//	         [-alpha α] [-exact] [-congest] [-parallel] [-tcp] [-json]
-//	         [-trace] [-compare] [-exact-opt]
+//	         [-alpha α] [-exact] [-congest] [-parallel] [-sharded [-shards P]]
+//	         [-tcp] [-json] [-trace] [-compare] [-exact-opt]
 //	covercli -gen kind -n N [-m M] [-f F] [-maxw W] [-seed S]
 //
 // With -congest the real Appendix B message protocol runs on a simulated
 // CONGEST network and the communication metrics are reported; -parallel
-// runs every node as its own goroutine, -tcp additionally moves the
+// runs every node as its own goroutine, -sharded steps node shards on a
+// fixed worker pool (the fast path for large instances), -tcp moves the
 // messages over real loopback sockets. -gen emits a synthetic instance as
 // JSON instead of solving. -compare runs the paper's baselines next to the
 // algorithm; -exact-opt audits small instances against a branch-and-bound
@@ -49,6 +50,8 @@ func run() error {
 		exact       = flag.Bool("exact", false, "exact big.Rat arithmetic")
 		congestRun  = flag.Bool("congest", false, "run the real CONGEST message protocol")
 		parallel    = flag.Bool("parallel", false, "with -congest: one goroutine per node")
+		sharded     = flag.Bool("sharded", false, "with -congest: fixed worker pool over node shards (large instances)")
+		shards      = flag.Int("shards", 0, "with -sharded: shard count (0 = GOMAXPROCS)")
 		tcp         = flag.Bool("tcp", false, "with -congest: nodes talk over TCP loopback")
 		asJSON      = flag.Bool("json", false, "emit the result as JSON")
 		trace       = flag.Bool("trace", false, "print per-iteration dynamics")
@@ -99,8 +102,29 @@ func run() error {
 	if *exact {
 		opts = append(opts, distcover.WithExactArithmetic())
 	}
+	// The engine flags are mutually exclusive; without a check the
+	// last-applied option would silently win and a benchmark could measure
+	// the wrong engine.
+	engineFlags := 0
+	for _, on := range []bool{*parallel, *sharded, *tcp} {
+		if on {
+			engineFlags++
+		}
+	}
+	if engineFlags > 1 {
+		return fmt.Errorf("-parallel, -sharded and -tcp are mutually exclusive")
+	}
+	if engineFlags > 0 && !*congestRun {
+		return fmt.Errorf("-parallel, -sharded and -tcp select a CONGEST engine and require -congest")
+	}
+	if *shards != 0 && !*sharded {
+		return fmt.Errorf("-shards requires -sharded")
+	}
 	if *parallel {
 		opts = append(opts, distcover.WithParallelEngine())
+	}
+	if *sharded {
+		opts = append(opts, distcover.WithShardedEngine(), distcover.WithShardCount(*shards))
 	}
 	if *tcp {
 		opts = append(opts, distcover.WithTCPEngine())

@@ -230,11 +230,14 @@ func SolveCongest(in *Instance, opts ...Option) (*Solution, *CongestStats, error
 	if in == nil {
 		return nil, nil, ErrNilInstance
 	}
-	cfg := buildOptions(opts)
+	ecfg := optConfig(opts)
+	cfg := ecfg.core
 	var eng congest.Engine = congest.SequentialEngine{}
-	switch optEngine(opts) {
+	switch ecfg.engine {
 	case engineParallel:
 		eng = congest.ParallelEngine{}
+	case engineSharded:
+		eng = congest.ShardedEngine{Shards: ecfg.shards}
 	case engineTCP:
 		eng = congest.NetEngine{Codec: core.WireCodec{}}
 	}

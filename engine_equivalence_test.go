@@ -1,0 +1,174 @@
+package distcover
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"distcover/internal/congest"
+	"distcover/internal/core"
+	"distcover/internal/hypergraph"
+	"distcover/internal/lp"
+	"distcover/internal/reduction"
+)
+
+// equivalenceEngines are the in-memory engines that must be bit-identical.
+// (The TCP engine is exercised separately in internal/core; it is too slow
+// for 50-instance sweeps.)
+func equivalenceEngines() map[string]congest.Engine {
+	return map[string]congest.Engine{
+		"parallel":  congest.ParallelEngine{},
+		"sharded":   congest.ShardedEngine{},
+		"sharded-5": congest.ShardedEngine{Shards: 5},
+	}
+}
+
+// randomEquivalenceInstance draws one instance from a mix of families:
+// ordinary graphs, f>2 hypergraphs across weight distributions, heavy-tail
+// power-law instances, and zero-one ILP-reduction outputs (whose edge
+// structure — many overlapping hyperedges of mixed sizes — none of the
+// random families produce).
+func randomEquivalenceInstance(t *testing.T, rng *rand.Rand, i int) *hypergraph.Hypergraph {
+	t.Helper()
+	seed := rng.Int63()
+	switch i % 5 {
+	case 0: // plain graphs, f = 2
+		n := 5 + rng.Intn(40)
+		g, err := hypergraph.RandomGraph(n, 2*n, hypergraph.GenConfig{
+			Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case 1: // f > 2, exponential weights
+		f := 3 + rng.Intn(3)
+		n := f + 5 + rng.Intn(40)
+		g, err := hypergraph.UniformRandom(n, 3*n, f, hypergraph.GenConfig{
+			Seed: seed, Dist: hypergraph.WeightExponential, MaxWeight: 1 << 14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case 2: // heavy-tail degree profile
+		g, err := hypergraph.PowerLaw(20+rng.Intn(60), 120, 3, hypergraph.GenConfig{
+			Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case 3: // near-regular, unit weights
+		g, err := hypergraph.RegularLike(30+rng.Intn(40), 4, 3, hypergraph.GenConfig{
+			Seed: seed, Dist: hypergraph.WeightUniformOne,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	default: // ILP-reduction instance (Lemma 14 hyperedges)
+		nv := 4 + rng.Intn(5)
+		p := &lp.CoveringILP{NumVars: nv}
+		for v := 0; v < nv; v++ {
+			p.Weights = append(p.Weights, 1+rng.Int63n(20))
+		}
+		for c := 0; c < 3+rng.Intn(4); c++ {
+			row := lp.Row{B: 1 + rng.Int63n(3)}
+			for v := 0; v < nv; v++ {
+				if rng.Intn(2) == 0 {
+					row.Terms = append(row.Terms, lp.Term{Col: v, Coef: 1 + rng.Int63n(3)})
+				}
+			}
+			if len(row.Terms) == 0 {
+				row.Terms = append(row.Terms, lp.Term{Col: rng.Intn(nv), Coef: row.B})
+			}
+			p.Rows = append(p.Rows, row)
+		}
+		red, err := reduction.ToHypergraph(p, reduction.Options{})
+		if err != nil {
+			// Random rows can be infeasible as zero-one programs; draw a
+			// fallback family member instead.
+			g, gerr := hypergraph.UniformRandom(12, 24, 3, hypergraph.GenConfig{
+				Seed: seed, Dist: hypergraph.WeightUniformRange, MaxWeight: 30,
+			})
+			if gerr != nil {
+				t.Fatal(gerr)
+			}
+			return g
+		}
+		return red.G
+	}
+}
+
+// TestEngineEquivalenceOnCoverProtocol is the cross-engine differential
+// property test: on 50 random weighted instances the sequential, parallel
+// and sharded engines must produce identical covers, identical
+// metrics.Rounds, and identical message-bit accounting.
+func TestEngineEquivalenceOnCoverProtocol(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	opts := core.DefaultOptions()
+	for i := 0; i < 50; i++ {
+		g := randomEquivalenceInstance(t, rng, i)
+		refRes, refMetrics, err := core.RunCongest(g, opts, congest.SequentialEngine{}, congest.Options{Validate: true})
+		if err != nil {
+			t.Fatalf("instance %d: sequential: %v", i, err)
+		}
+		for name, eng := range equivalenceEngines() {
+			res, metrics, err := core.RunCongest(g, opts, eng, congest.Options{Validate: true})
+			if err != nil {
+				t.Fatalf("instance %d: %s: %v", i, name, err)
+			}
+			if !reflect.DeepEqual(res.Cover, refRes.Cover) {
+				t.Errorf("instance %d: %s cover %v != sequential %v", i, name, res.Cover, refRes.Cover)
+			}
+			if res.CoverWeight != refRes.CoverWeight || res.DualValue != refRes.DualValue {
+				t.Errorf("instance %d: %s certificate (%d, %g) != sequential (%d, %g)",
+					i, name, res.CoverWeight, res.DualValue, refRes.CoverWeight, refRes.DualValue)
+			}
+			if metrics.Rounds != refMetrics.Rounds {
+				t.Errorf("instance %d: %s rounds %d != sequential %d", i, name, metrics.Rounds, refMetrics.Rounds)
+			}
+			if metrics.TotalBits != refMetrics.TotalBits ||
+				metrics.Messages != refMetrics.Messages ||
+				metrics.MaxMessageBits != refMetrics.MaxMessageBits {
+				t.Errorf("instance %d: %s bit accounting %+v != sequential %+v", i, name, metrics, refMetrics)
+			}
+		}
+	}
+}
+
+// TestEngineEquivalencePublicAPI checks the same property through the
+// public SolveCongest options, including the resolved Solution fields.
+func TestEngineEquivalencePublicAPI(t *testing.T) {
+	inst, err := NewInstance(
+		[]int64{7, 3, 9, 2, 8, 5, 4, 6, 1, 10},
+		[][]int{
+			{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {6, 7, 8}, {8, 9, 0},
+			{1, 4, 7}, {3, 6, 9}, {0, 5, 9}, {2, 5, 8}, {1, 3, 8},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refStats, err := SolveCongest(inst, WithEpsilon(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range [][]Option{
+		{WithEpsilon(0.5), WithParallelEngine()},
+		{WithEpsilon(0.5), WithShardedEngine()},
+		{WithEpsilon(0.5), WithShardedEngine(), WithShardCount(4)},
+	} {
+		sol, stats, err := SolveCongest(inst, opt...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sol.Cover, ref.Cover) || sol.Weight != ref.Weight {
+			t.Errorf("cover mismatch: %v (%d) vs %v (%d)", sol.Cover, sol.Weight, ref.Cover, ref.Weight)
+		}
+		if stats.Rounds != refStats.Rounds || stats.TotalBits != refStats.TotalBits {
+			t.Errorf("stats mismatch: %+v vs %+v", stats, refStats)
+		}
+	}
+}

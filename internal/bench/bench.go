@@ -99,6 +99,7 @@ func Registry() []Experiment {
 		{ID: "E8", Title: "CONGEST conformance: message sizes and round formula", Run: MessageSize},
 		{ID: "E9", Title: "Shrinking ε (Corollaries 11 and 12)", Run: EpsilonRange},
 		{ID: "E10", Title: "Local α(e): no global knowledge of Δ (Theorem 9 remark)", Run: LocalAlpha},
+		{ID: "E11", Title: "Engine throughput: goroutine-per-node vs sharded worker pool", Run: EngineThroughput},
 	}
 }
 

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Measurement is one named benchmark reading. Names are hierarchical
+// slash-separated keys (e.g. "full/regular-1M/sharded/ns") so baselines can
+// mix runs of different modes; the comparator matches by exact name.
+type Measurement struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// HigherIsBetter orients the regression check: throughput-like readings
+	// regress when they drop, latency-like readings when they grow.
+	HigherIsBetter bool `json:"higher_is_better"`
+	// Tolerance, when > 0, overrides the baseline/default tolerance for
+	// this reading. Deterministic readings (rounds, message counts) keep
+	// the tight default; raw wall-clock readings carry a wider band
+	// because shared CI runners jitter far beyond algorithmic noise.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// Baseline is the committed benchmark reference (BENCH_baseline.json at the
+// repository root). CI re-measures and fails when any reading regresses
+// beyond Tolerance.
+type Baseline struct {
+	// Tolerance is the default allowed relative slack (0.2 = 20%); the
+	// comparator caller may override it.
+	Tolerance    float64       `json:"tolerance"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes a baseline file with stable ordering.
+func WriteBaseline(path string, b *Baseline) error {
+	sort.Slice(b.Measurements, func(i, j int) bool {
+		return b.Measurements[i].Name < b.Measurements[j].Name
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Merge replaces or appends cur's readings into the baseline, so quick- and
+// full-mode runs can accumulate into one committed file.
+func (b *Baseline) Merge(cur []Measurement) {
+	byName := make(map[string]int, len(b.Measurements))
+	for i, m := range b.Measurements {
+		byName[m.Name] = i
+	}
+	for _, m := range cur {
+		if i, ok := byName[m.Name]; ok {
+			b.Measurements[i] = m
+		} else {
+			byName[m.Name] = len(b.Measurements)
+			b.Measurements = append(b.Measurements, m)
+		}
+	}
+}
+
+// ComparisonResult reports one baseline-vs-current comparison.
+type ComparisonResult struct {
+	Name     string
+	Baseline float64
+	Current  float64
+	// Delta is the relative change in the harmful direction: positive means
+	// the reading moved toward regression by that fraction.
+	Delta     float64
+	Regressed bool
+}
+
+// Compare checks current readings against the baseline. An explicitly
+// passed tol > 0 is the operator tightening (or loosening) the gate and
+// overrides every per-entry Tolerance; tol ≤ 0 uses each entry's own
+// Tolerance when set, else the baseline's default, else 0.2. Baseline
+// entries missing from cur are skipped — a quick CI run cannot re-measure
+// full-mode entries — and reported via skipped.
+func Compare(base *Baseline, cur []Measurement, tol float64) (results []ComparisonResult, skipped []string) {
+	explicit := tol > 0
+	if !explicit {
+		tol = base.Tolerance
+	}
+	if tol <= 0 {
+		tol = 0.2
+	}
+	curByName := make(map[string]Measurement, len(cur))
+	for _, m := range cur {
+		curByName[m.Name] = m
+	}
+	for _, bm := range base.Measurements {
+		cm, ok := curByName[bm.Name]
+		if !ok {
+			skipped = append(skipped, bm.Name)
+			continue
+		}
+		r := ComparisonResult{Name: bm.Name, Baseline: bm.Value, Current: cm.Value}
+		if bm.Value != 0 {
+			if bm.HigherIsBetter {
+				r.Delta = (bm.Value - cm.Value) / bm.Value
+			} else {
+				r.Delta = (cm.Value - bm.Value) / bm.Value
+			}
+		} else if cm.Value != 0 && !bm.HigherIsBetter {
+			r.Delta = 1 // grew from a zero baseline
+		}
+		effTol := tol
+		if !explicit && bm.Tolerance > 0 {
+			effTol = bm.Tolerance
+		}
+		r.Regressed = r.Delta > effTol
+		results = append(results, r)
+	}
+	return results, skipped
+}
+
+// Regressions filters Compare output down to failures, formatted for CI
+// logs.
+func Regressions(results []ComparisonResult) []string {
+	var out []string
+	for _, r := range results {
+		if r.Regressed {
+			out = append(out, fmt.Sprintf("%s: baseline %.4g, current %.4g (%.1f%% worse)",
+				r.Name, r.Baseline, r.Current, r.Delta*100))
+		}
+	}
+	return out
+}

@@ -2,15 +2,21 @@
 // computation proceeds in rounds, in every round each node may send one
 // message per incident link, and message sizes are bounded by O(log n) bits.
 //
-// The package provides two interchangeable engines with identical semantics:
+// The package provides interchangeable engines with identical semantics:
 //
 //   - SequentialEngine executes nodes one at a time in a deterministic order;
-//     it is fast and fully reproducible and is what the benchmarks use.
+//     it is simple, fully reproducible and the reference implementation.
 //   - ParallelEngine runs every node as its own goroutine with channels
 //     carrying the messages and a barrier per round — the natural Go
-//     embedding of the model.
+//     embedding of the model, but goroutine and channel overhead dominate on
+//     large networks.
+//   - ShardedEngine partitions the nodes over a fixed worker pool and routes
+//     messages through flat slice mailboxes; it is the engine for large
+//     instances (millions of nodes) and produces bit-identical results.
+//   - NetEngine (netengine.go) moves the messages over real TCP loopback
+//     sockets for end-to-end demonstrations.
 //
-// Both engines account rounds, message counts and message bits, and can
+// All engines account rounds, message counts and message bits, and can
 // enforce the CONGEST bit budget, rejecting protocols that cheat.
 package congest
 
@@ -57,7 +63,12 @@ func (o *Outbox) Len() int { return len(o.sends) }
 
 // Node is a synchronous state machine. The engine calls Step once per round
 // with the messages received (sent to this node in the previous round) and
-// an outbox for this round's sends. Round 0 has an empty inbox.
+// an outbox for this round's sends. Round 0 has an empty inbox. Every engine
+// delivers the inbox sorted by ascending sender id — protocol nodes may (and
+// the ones in internal/core do) rely on that order. The inbox slice is only
+// valid for the duration of Step: engines (the sharded one today) may reuse
+// its backing storage for later rounds, so nodes must copy anything they
+// keep.
 //
 // A node signals local termination by returning done = true; a done node is
 // never stepped again and messages sent to it are dropped (it has already
@@ -109,6 +120,33 @@ func (nw *Network) MustConnect(a, b NodeID) {
 	if err := nw.Connect(a, b); err != nil {
 		panic(err)
 	}
+}
+
+// Reserve pre-sizes node v's adjacency list to hold at least extra further
+// links, so builders that know degrees up front avoid repeated slice growth
+// on large networks. It never shrinks and ignores invalid ids.
+func (nw *Network) Reserve(v NodeID, extra int) {
+	if !nw.valid(v) || extra <= 0 {
+		return
+	}
+	adj := nw.adj[v]
+	if cap(adj)-len(adj) >= extra {
+		return
+	}
+	grown := make([]NodeID, len(adj), len(adj)+extra)
+	copy(grown, adj)
+	nw.adj[v] = grown
+}
+
+// ConnectTrusted is Connect without the validity and duplicate-link checks:
+// the caller guarantees a != b, both ids exist, and the link is not already
+// present. Builders that construct topologies from already-validated data
+// (core.BuildNetwork over a Builder-checked hypergraph) use it because
+// Connect's O(deg) duplicate scan turns hub vertices quadratic.
+func (nw *Network) ConnectTrusted(a, b NodeID) {
+	nw.adj[a] = append(nw.adj[a], b)
+	nw.adj[b] = append(nw.adj[b], a)
+	nw.edges++
 }
 
 // NumNodes returns the number of nodes.

@@ -78,6 +78,8 @@ func engines() map[string]Engine {
 	return map[string]Engine{
 		"sequential": SequentialEngine{},
 		"parallel":   ParallelEngine{},
+		"sharded":    ShardedEngine{},
+		"sharded-3":  ShardedEngine{Shards: 3},
 	}
 }
 
@@ -141,18 +143,23 @@ func TestEnginesAgree(t *testing.T) {
 			return nw, nodes
 		}
 		nwS, nodesS := build()
-		nwP, nodesP := build()
 		mS, errS := SequentialEngine{}.Run(nwS, Options{Validate: true})
-		mP, errP := ParallelEngine{}.Run(nwP, Options{Validate: true})
-		if (errS == nil) != (errP == nil) {
-			return false
-		}
-		if !reflect.DeepEqual(mS, mP) {
-			return false
-		}
-		for i := range nodesS {
-			if nodesS[i].dist != nodesP[i].dist {
+		for name, eng := range engines() {
+			if name == "sequential" {
+				continue
+			}
+			nwE, nodesE := build()
+			mE, errE := eng.Run(nwE, Options{Validate: true})
+			if (errS == nil) != (errE == nil) {
 				return false
+			}
+			if !reflect.DeepEqual(mS, mE) {
+				return false
+			}
+			for i := range nodesS {
+				if nodesS[i].dist != nodesE[i].dist {
+					return false
+				}
 			}
 		}
 		return true

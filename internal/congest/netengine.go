@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Codec serializes protocol messages so transports that move real bytes
@@ -64,15 +65,33 @@ func (e NetEngine) Run(nw *Network, opts Options) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, fmt.Errorf("congest: listen: %w", err)
 	}
-	defer ln.Close()
 
 	n := nw.NumNodes()
 	if n == 0 {
+		ln.Close()
 		return Metrics{}, nil
 	}
 
-	// Node processes: dial, send id, then serve rounds until shutdown.
 	var wg sync.WaitGroup
+	conns := make([]net.Conn, n)
+	// Cleanup order matters on every exit path, error or not: first stop
+	// listening (resets connections still sitting in the accept backlog,
+	// e.g. after a handshake failure), then close every accepted connection
+	// (unblocks node goroutines parked in reads or writes mid-round), and
+	// only then wait for the node goroutines to drain. Waiting before
+	// closing deadlocks: a node blocked on its socket never observes the
+	// coordinator's exit.
+	defer wg.Wait()
+	defer func() {
+		ln.Close()
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	// Node processes: dial, send id, then serve rounds until shutdown.
 	nodeErrs := make(chan error, n)
 	for id := 0; id < n; id++ {
 		wg.Add(1)
@@ -83,17 +102,8 @@ func (e NetEngine) Run(nw *Network, opts Options) (Metrics, error) {
 			}
 		}(id, nw.nodes[id])
 	}
-	defer wg.Wait()
 
 	// Accept and identify all connections.
-	conns := make([]net.Conn, n)
-	defer func() {
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
-			}
-		}
-	}()
 	for i := 0; i < n; i++ {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -119,9 +129,15 @@ func (e NetEngine) Run(nw *Network, opts Options) (Metrics, error) {
 		done    = make([]bool, n)
 		remain  = n
 	)
+	// shutdown tells still-active nodes to exit cleanly. Writes are bounded
+	// by a deadline: if a node is itself wedged in a write, its receive
+	// buffer may be full, and the deferred connection close — not this
+	// courtesy frame — is what unblocks it.
 	shutdown := func() {
+		deadline := time.Now().Add(time.Second)
 		for id, c := range conns {
 			if c != nil && !done[id] {
+				c.SetWriteDeadline(deadline)
 				writeFrame(c, shutdownRound, nil, nil)
 			}
 		}

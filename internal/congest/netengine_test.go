@@ -1,0 +1,139 @@
+package congest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// intCodec moves intMsg values as 8-byte frames.
+type intCodec struct{}
+
+func (intCodec) Encode(m Message) ([]byte, error) {
+	v, ok := m.(intMsg)
+	if !ok {
+		return nil, fmt.Errorf("intCodec: unexpected %T", m)
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	return buf[:], nil
+}
+
+func (intCodec) Decode(data []byte) (Message, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("intCodec: bad length %d", len(data))
+	}
+	return intMsg(binary.BigEndian.Uint64(data)), nil
+}
+
+// flakyCodec fails every Decode after the first failAfter successes,
+// simulating corruption mid-round.
+type flakyCodec struct {
+	intCodec
+	failAfter int64
+	decodes   atomic.Int64
+}
+
+var errFlaky = errors.New("flaky codec: simulated corruption")
+
+func (c *flakyCodec) Decode(data []byte) (Message, error) {
+	if c.decodes.Add(1) > c.failAfter {
+		return nil, errFlaky
+	}
+	return c.intCodec.Decode(data)
+}
+
+// waitGoroutinesBack polls until the goroutine count returns to (about) the
+// pre-test level; engine goroutines that outlive Run are leaks.
+func waitGoroutinesBack(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge parked network goroutines
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNetEngineRunsBFS(t *testing.T) {
+	const n = 8
+	nw, nodes := buildPath(n)
+	m, err := NetEngine{Codec: intCodec{}}.Run(nw, Options{Validate: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, node := range nodes {
+		if node.dist != int64(i) {
+			t.Errorf("node %d dist = %d, want %d", i, node.dist, i)
+		}
+	}
+	if m.WireBytes == 0 {
+		t.Error("WireBytes not recorded")
+	}
+}
+
+// TestNetEngineDrainsGoroutinesOnCodecError is the regression test for the
+// listener/node-goroutine leak: a codec error mid-round must close every
+// connection and drain all node goroutines before Run returns to its
+// caller's test, even with nodes parked mid-read.
+func TestNetEngineDrainsGoroutinesOnCodecError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, failAfter := range []int64{0, 1, 5, 20} {
+		const n = 10
+		nw, _ := buildPath(n)
+		codec := &flakyCodec{failAfter: failAfter}
+		_, err := NetEngine{Codec: codec}.Run(nw, Options{Validate: true})
+		if err == nil {
+			t.Fatalf("failAfter=%d: expected codec error, got nil", failAfter)
+		}
+	}
+	waitGoroutinesBack(t, before)
+}
+
+// TestNetEngineNoLeakOnSuccess asserts the success path also leaves no
+// engine goroutines behind.
+func TestNetEngineNoLeakOnSuccess(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		nw, _ := buildPath(6)
+		if _, err := (NetEngine{Codec: intCodec{}}).Run(nw, Options{}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	waitGoroutinesBack(t, before)
+}
+
+// TestNetEngineRoundLimitDrains covers the round-limit error path, which
+// exits while every node is still connected and mid-protocol.
+func TestNetEngineRoundLimitDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	nw := NewNetwork()
+	a := nw.AddNode(&chattyNode{peer: 1})
+	b := nw.AddNode(&chattyNode{peer: 0})
+	nw.MustConnect(a, b)
+	_, err := NetEngine{Codec: intCodec{}}.Run(nw, Options{MaxRounds: 4})
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+	waitGoroutinesBack(t, before)
+}
+
+// chattyNode pings its peer forever.
+type chattyNode struct{ peer NodeID }
+
+func (c *chattyNode) Step(round int, _ []Envelope, out *Outbox) bool {
+	out.Send(c.peer, intMsg(int64(round)))
+	return false
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"distcover/internal/congest"
 	"distcover/internal/hypergraph"
@@ -93,14 +92,22 @@ type msgEdgeCovered struct{}
 
 func (msgEdgeCovered) Bits() int { return 1 }
 
+// The zero-size announcements are boxed once; the per-step messages below
+// are boxed once per step (a node sends the identical value on every link,
+// so per-Send conversion would heap-allocate the same struct deg times —
+// measurable GC pressure at million-node scale).
+var (
+	vertexCoveredMsg congest.Message = msgVertexCovered{}
+	edgeCoveredMsg   congest.Message = msgEdgeCovered{}
+)
+
 // vertexNode is the server-side (hypergraph vertex) state machine.
 type vertexNode struct {
 	p   *protoParams
 	num floatNumeric
 	w   int64
 
-	edges   []congest.NodeID // incident edge nodes, ascending
-	edgeIdx map[congest.NodeID]int
+	edges []congest.NodeID // incident edge nodes, ascending
 
 	// Mirrors, indexed like edges.
 	bid     []float64
@@ -125,8 +132,9 @@ func (v *vertexNode) Step(round int, inbox []congest.Envelope, out *congest.Outb
 		if len(v.edges) == 0 {
 			return true // isolated vertex: terminates with empty E'(v)
 		}
+		info := congest.Message(msgVertexInfo{w: v.w, deg: int64(len(v.edges))})
 		for _, e := range v.edges {
-			out.Send(e, msgVertexInfo{w: v.w, deg: int64(len(v.edges))})
+			out.Send(e, info)
 		}
 		return false
 	}
@@ -144,7 +152,7 @@ func (v *vertexNode) Step(round int, inbox []congest.Envelope, out *congest.Outb
 		v.inCover = true
 		for i, e := range v.edges {
 			if !v.covered[i] {
-				out.Send(e, msgVertexCovered{})
+				out.Send(e, vertexCoveredMsg)
 			}
 		}
 		return true
@@ -159,9 +167,10 @@ func (v *vertexNode) Step(round int, inbox []congest.Envelope, out *congest.Outb
 	// Step 3e: raise/stuck, seeing bids after own halvings only.
 	view := v.num.HalfPow(v.sumBid, inc)
 	raise := v.num.Mul(v.alphaV, view) <= v.num.HalfPow(wT, v.level+1)
+	upd := congest.Message(msgVertexUpdate{inc: int64(inc), raise: raise})
 	for i, e := range v.edges {
 		if !v.covered[i] {
-			out.Send(e, msgVertexUpdate{inc: int64(inc), raise: raise})
+			out.Send(e, upd)
 		}
 	}
 	return false
@@ -171,15 +180,26 @@ func (v *vertexNode) Step(round int, inbox []congest.Envelope, out *congest.Outb
 // notifications, and (halvings, raised) updates; then recomputes the
 // uncovered-bid aggregate in ascending edge order to match the lockstep
 // runner's float summation exactly.
+//
+// The inbox arrives sorted by sender id (the congest.Node contract) and
+// v.edges is ascending, so a single merge walk resolves each sender to its
+// mirror index — no per-vertex index map, no per-envelope map lookup.
 func (v *vertexNode) processInbox(inbox []congest.Envelope) {
 	if len(inbox) == 0 {
 		return
 	}
+	j := 0
 	for _, env := range inbox {
-		i, ok := v.edgeIdx[env.From]
-		if !ok {
-			continue
+		for j < len(v.edges) && v.edges[j] < env.From {
+			j++
 		}
+		if j == len(v.edges) {
+			break
+		}
+		if v.edges[j] != env.From {
+			continue // not an incident edge; ignore
+		}
+		i := j
 		switch m := env.Msg.(type) {
 		case msgEdgeInit:
 			b := v.num.FromRatio(m.wMin, 2*m.degMin)
@@ -228,7 +248,6 @@ type edgeNode struct {
 
 	verts []congest.NodeID // member vertex nodes, ascending
 
-	w, deg []int64 // member info collected in round 0
 	bid    float64
 	delta  float64
 	alphaE float64
@@ -261,7 +280,7 @@ func (e *edgeNode) Step(round int, inbox []congest.Envelope, out *congest.Outbox
 		// Steps 3b: announce and terminate. Vertices that joined the cover
 		// have already terminated; sends to them are dropped by the engine.
 		for _, v := range e.verts {
-			out.Send(v, msgEdgeCovered{})
+			out.Send(v, edgeCoveredMsg)
 		}
 		return true
 	}
@@ -276,8 +295,9 @@ func (e *edgeNode) Step(round int, inbox []congest.Envelope, out *congest.Outbox
 		add = e.num.HalfPow(add, 1)
 	}
 	e.delta = e.num.Add(e.delta, add)
+	upd := congest.Message(msgEdgeUpdate{halvings: halvings, raised: allRaise})
 	for _, v := range e.verts {
-		out.Send(v, msgEdgeUpdate{halvings: halvings, raised: allRaise})
+		out.Send(v, upd)
 	}
 	return false
 }
@@ -287,36 +307,38 @@ func (e *edgeNode) Step(round int, inbox []congest.Envelope, out *congest.Outbox
 // tie-break, set bid(e) = w(ve)/(2·|E(ve)|), and report it with the local
 // maximum degree.
 func (e *edgeNode) initPhase(inbox []congest.Envelope, out *congest.Outbox) bool {
-	e.w = make([]int64, len(e.verts))
-	e.deg = make([]int64, len(e.verts))
-	for _, env := range inbox {
-		for i, v := range e.verts { // f is small; linear scan is fine
-			if v == env.From {
-				if m, ok := env.Msg.(msgVertexInfo); ok {
-					e.w[i] = m.w
-					e.deg[i] = m.deg
-				}
+	// The inbox is sorted by sender (congest.Node contract) and e.verts is
+	// ascending, so a merge walk pairs each member with its report; members
+	// whose report is missing (malformed graphs only) count as (0, 0), as
+	// the earlier materialized w/deg slices did. Tracking the running
+	// argmin (ties to the lower vertex id = earlier position) and maximum
+	// degree inline avoids allocating per-edge slices.
+	var wBest, degBest, localDelta int64
+	j := 0
+	for i, v := range e.verts {
+		var wi, di int64
+		for j < len(inbox) && inbox[j].From < v {
+			j++
+		}
+		if j < len(inbox) && inbox[j].From == v {
+			if m, ok := inbox[j].Msg.(msgVertexInfo); ok {
+				wi, di = m.w, m.deg
 			}
 		}
-	}
-	best := 0
-	for i := 1; i < len(e.verts); i++ {
-		// argmin w/deg, ties to the lower vertex id (ascending order).
-		if e.w[i]*e.deg[best] < e.w[best]*e.deg[i] {
-			best = i
+		// argmin w/deg by cross-multiplication, strict < keeps the first.
+		if i == 0 || wi*degBest < wBest*di {
+			wBest, degBest = wi, di
+		}
+		if di > localDelta {
+			localDelta = di
 		}
 	}
-	localDelta := int64(0)
-	for _, d := range e.deg {
-		if d > localDelta {
-			localDelta = d
-		}
-	}
-	e.bid = e.num.FromRatio(e.w[best], 2*e.deg[best])
+	e.bid = e.num.FromRatio(wBest, 2*degBest)
 	e.delta = e.bid
 	e.alphaE = e.p.alphaFor(int(localDelta))
+	init := congest.Message(msgEdgeInit{wMin: wBest, degMin: degBest, localDelta: localDelta})
 	for _, v := range e.verts {
-		out.Send(v, msgEdgeInit{wMin: e.w[best], degMin: e.deg[best], localDelta: localDelta})
+		out.Send(v, init)
 	}
 	return false
 }
@@ -342,42 +364,63 @@ func BuildNetwork(g *hypergraph.Hypergraph, opts Options) (*congest.Network, []*
 	}
 	n, m := g.NumVertices(), g.NumEdges()
 	nw := congest.NewNetwork()
-	vnodes := make([]*vertexNode, n)
+
+	// All per-incidence storage comes from shared arenas: one allocation per
+	// kind instead of several per node, which at million-node scale is the
+	// difference between a construction-bound and an execution-bound run.
+	totalInc := 0
 	for v := 0; v < n; v++ {
-		vn := &vertexNode{
+		totalInc += g.Degree(hypergraph.VertexID(v))
+	}
+	var (
+		edgesArena   = make([]congest.NodeID, totalInc)
+		bidArena     = make([]float64, totalInc)
+		deltaArena   = make([]float64, totalInc)
+		alphaArena   = make([]float64, totalInc)
+		coveredArena = make([]bool, totalInc)
+		vertsArena   = make([]congest.NodeID, 0, totalInc)
+	)
+	vnodes := make([]*vertexNode, n)
+	vstructs := make([]vertexNode, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		k := g.Degree(hypergraph.VertexID(v))
+		vn := &vstructs[v]
+		*vn = vertexNode{
 			p:       p,
 			w:       g.Weight(hypergraph.VertexID(v)),
-			edgeIdx: make(map[congest.NodeID]int, g.Degree(hypergraph.VertexID(v))),
+			edges:   edgesArena[off : off : off+k],
+			bid:     bidArena[off : off+k : off+k],
+			delta:   deltaArena[off : off+k : off+k],
+			alphaE:  alphaArena[off : off+k : off+k],
+			covered: coveredArena[off : off+k : off+k],
+			uncov:   k,
 		}
+		off += k
 		vnodes[v] = vn
 		nw.AddNode(vn)
+		nw.Reserve(congest.NodeID(v), k)
 	}
 	enodes := make([]*edgeNode, m)
+	estructs := make([]edgeNode, m)
 	for e := 0; e < m; e++ {
-		en := &edgeNode{p: p}
+		en := &estructs[e]
+		en.p = p
 		enodes[e] = en
 		id := nw.AddNode(en)
-		for _, v := range g.Edge(hypergraph.EdgeID(e)) {
-			if err := nw.Connect(congest.NodeID(v), id); err != nil {
-				return nil, nil, nil, fmt.Errorf("core: build network: %w", err)
-			}
-			en.verts = append(en.verts, congest.NodeID(v))
-			vn := vnodes[v]
-			vn.edges = append(vn.edges, id)
+		// g.Edge returns sorted distinct in-range vertex ids (guaranteed by
+		// hypergraph.Builder), so the links are valid and duplicate-free by
+		// construction and en.verts / vn.edges come out ascending (edge-node
+		// ids increase with e) without sorting.
+		vs := g.Edge(hypergraph.EdgeID(e))
+		nw.Reserve(id, len(vs))
+		start := len(vertsArena)
+		for _, v := range vs {
+			nw.ConnectTrusted(congest.NodeID(v), id)
+			vertsArena = append(vertsArena, congest.NodeID(v))
+			vnodes[v].edges = append(vnodes[v].edges, id)
 		}
-		sort.Slice(en.verts, func(i, j int) bool { return en.verts[i] < en.verts[j] })
-	}
-	for _, vn := range vnodes {
-		sort.Slice(vn.edges, func(i, j int) bool { return vn.edges[i] < vn.edges[j] })
-		k := len(vn.edges)
-		vn.bid = make([]float64, k)
-		vn.delta = make([]float64, k)
-		vn.alphaE = make([]float64, k)
-		vn.covered = make([]bool, k)
-		vn.uncov = k
-		for i, e := range vn.edges {
-			vn.edgeIdx[e] = i
-		}
+		en.verts = vertsArena[start:len(vertsArena):len(vertsArena)]
 	}
 	return nw, vnodes, enodes, nil
 }
@@ -390,6 +433,16 @@ func RunCongest(g *hypergraph.Hypergraph, opts Options, eng congest.Engine, cong
 	if err != nil {
 		return nil, congest.Metrics{}, err
 	}
+	return RunBuiltNetwork(g, opts, nw, vnodes, enodes, eng, congestOpts)
+}
+
+// RunBuiltNetwork executes a network previously constructed by BuildNetwork
+// (networks are stateful: build a fresh one per run) and extracts the
+// result. Callers that need to separate construction cost from engine
+// execution — the throughput benchmarks — use the two-step form; everyone
+// else goes through RunCongest.
+func RunBuiltNetwork(g *hypergraph.Hypergraph, opts Options, nw *congest.Network,
+	vnodes []*vertexNode, enodes []*edgeNode, eng congest.Engine, congestOpts congest.Options) (*Result, congest.Metrics, error) {
 	if congestOpts.BitBudget == 0 {
 		congestOpts.BitBudget = congest.LogBudget(nw.NumNodes())
 	}

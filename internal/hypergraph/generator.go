@@ -217,6 +217,12 @@ func GeometricPath(n int, base int64, ratio float64, maxW int64) (*Hypergraph, e
 // with degree far above the median, so the local maximum degrees Δ(e)
 // spread over orders of magnitude — the regime where the per-edge α(e)
 // policy differs from the global one.
+//
+// Sampling uses the slot method: a pool holds one slot per vertex (the +1
+// smoothing) plus one slot per incidence created so far, so a uniform draw
+// from the pool is a draw proportional to deg+1 in O(1). Generation is
+// O((n + m·f) · E[redraws]) and comfortably reaches millions of edges — the
+// scale the sharded engine benchmarks need.
 func PowerLaw(n, m, f int, cfg GenConfig) (*Hypergraph, error) {
 	if n <= 0 || f <= 0 || f > n || m < 0 {
 		return nil, fmt.Errorf("hypergraph: invalid PowerLaw params n=%d m=%d f=%d", n, m, f)
@@ -226,36 +232,25 @@ func PowerLaw(n, m, f int, cfg GenConfig) (*Hypergraph, error) {
 	for i := 0; i < n; i++ {
 		b.AddVertex(cfg.drawWeight(rng))
 	}
-	deg := make([]int64, n)
-	total := int64(n) // Σ (deg+1)
-	pickVertex := func(exclude map[VertexID]bool) VertexID {
-		for {
-			t := rng.Int63n(total)
-			// Linear scan with early exit; acceptable at generator scale.
-			for v := 0; v < n; v++ {
-				t -= deg[v] + 1
-				if t < 0 {
-					if !exclude[VertexID(v)] {
-						return VertexID(v)
-					}
-					break
-				}
-			}
-		}
+	slots := make([]VertexID, n, n+m*f)
+	for v := 0; v < n; v++ {
+		slots[v] = VertexID(v)
 	}
+	edge := make([]VertexID, 0, f)
+	used := make(map[VertexID]bool, f)
 	for e := 0; e < m; e++ {
-		edge := make([]VertexID, 0, f)
-		used := make(map[VertexID]bool, f)
+		edge = edge[:0]
+		clear(used)
 		for len(edge) < f {
-			v := pickVertex(used)
+			v := slots[rng.Intn(len(slots))]
+			if used[v] {
+				continue // redraw; cheap unless f approaches the hub count
+			}
 			used[v] = true
 			edge = append(edge, v)
 		}
 		b.AddEdge(edge...)
-		for _, v := range edge {
-			deg[v]++
-			total++
-		}
+		slots = append(slots, edge...)
 	}
 	return b.Build()
 }

@@ -10,6 +10,7 @@ type Option interface {
 type solveConfig struct {
 	core   core.Options
 	engine engineKind
+	shards int
 }
 
 type engineKind int
@@ -17,6 +18,7 @@ type engineKind int
 const (
 	engineSequential engineKind = iota
 	engineParallel
+	engineSharded
 	engineTCP
 )
 
@@ -92,6 +94,24 @@ func WithParallelEngine() Option {
 	return optionFunc(func(c *solveConfig) { c.engine = engineParallel })
 }
 
+// WithShardedEngine makes SolveCongest run the network on the sharded
+// engine: nodes are partitioned over a fixed worker pool and messages are
+// routed through flat slice mailboxes instead of per-node channels. This is
+// the engine for large instances — it handles networks of millions of nodes
+// at a small multiple of the lockstep simulator's cost — and its results
+// are bit-identical to the other engines. Combine with WithShardCount to
+// pin the partition count. Ignored by Solve.
+func WithShardedEngine() Option {
+	return optionFunc(func(c *solveConfig) { c.engine = engineSharded })
+}
+
+// WithShardCount sets the number of node partitions (= pool workers) the
+// sharded engine uses; p ≤ 0 or omitting the option means GOMAXPROCS.
+// Implies nothing about which engine runs: combine with WithShardedEngine.
+func WithShardCount(p int) Option {
+	return optionFunc(func(c *solveConfig) { c.shards = p })
+}
+
 // WithTCPEngine makes SolveCongest run every network node as its own
 // goroutine connected over real TCP loopback sockets, moving the protocol
 // messages as encoded bytes (the library's wire codec). Results are
@@ -103,17 +123,13 @@ func WithTCPEngine() Option {
 }
 
 func buildOptions(opts []Option) core.Options {
+	return optConfig(opts).core
+}
+
+func optConfig(opts []Option) solveConfig {
 	cfg := solveConfig{core: core.DefaultOptions()}
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
-	return cfg.core
-}
-
-func optEngine(opts []Option) engineKind {
-	cfg := solveConfig{}
-	for _, o := range opts {
-		o.apply(&cfg)
-	}
-	return cfg.engine
+	return cfg
 }

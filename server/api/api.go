@@ -21,6 +21,11 @@ const (
 	EngineCongest = "congest"
 	// EngineCongestParallel runs every CONGEST node as its own goroutine.
 	EngineCongestParallel = "congest-parallel"
+	// EngineCongestSharded runs the CONGEST network on the sharded engine:
+	// a fixed worker pool over node partitions with flat slice mailboxes.
+	// This is the engine for large instances; results are identical to the
+	// other congest engines. See SolveOptions.Shards.
+	EngineCongestSharded = "congest-sharded"
 	// EngineCongestTCP moves CONGEST messages over real loopback sockets.
 	EngineCongestTCP = "congest-tcp"
 )
@@ -43,6 +48,9 @@ type SolveOptions struct {
 	// Engine selects the execution path; see the Engine* constants.
 	// Empty means EngineSim.
 	Engine string `json:"engine,omitempty"`
+	// Shards sets the node-partition count for EngineCongestSharded
+	// (0 = one shard per CPU). Ignored by the other engines.
+	Shards int `json:"shards,omitempty"`
 	// NoCache bypasses the server's instance-result cache for this request
 	// (the result is still stored for future requests).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -58,10 +66,11 @@ func (o SolveOptions) Fingerprint() string {
 		eng = EngineSim
 	}
 	// The in-memory congest engines produce identical solutions AND
-	// identical communication stats, so they share one cache identity.
+	// identical communication stats, so they share one cache identity
+	// (Shards is likewise excluded: it changes scheduling, not results).
 	// The TCP engine stays distinct: it additionally reports WireBytes,
 	// which a cached in-memory result would be missing.
-	if eng == EngineCongestParallel {
+	if eng == EngineCongestParallel || eng == EngineCongestSharded {
 		eng = EngineCongest
 	}
 	return fmt.Sprintf("eps=%g,fapprox=%t,single=%t,local=%t,alpha=%g,maxit=%d,engine=%s",

@@ -205,10 +205,14 @@ func TestSolveSyncAndEngines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, engine := range []string{api.EngineCongest, api.EngineCongestParallel} {
+	for _, engine := range []string{api.EngineCongest, api.EngineCongestParallel, api.EngineCongestSharded} {
+		shards := 0
+		if engine == api.EngineCongestSharded {
+			shards = 3 // exercise an explicit per-request shard count
+		}
 		res, err := c.SolveRequest(ctx, api.SolveRequest{
 			Instance: raw,
-			Options:  api.SolveOptions{Epsilon: 0.5, Engine: engine},
+			Options:  api.SolveOptions{Epsilon: 0.5, Engine: engine, Shards: shards},
 		})
 		if err != nil {
 			t.Fatalf("%s solve: %v", engine, err)

@@ -143,11 +143,13 @@ func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*a
 			return nil, err
 		}
 		return coverResult(sol, nil), nil
-	case api.EngineCongest, api.EngineCongestParallel, api.EngineCongestTCP:
-		if o.Engine == api.EngineCongestParallel {
+	case api.EngineCongest, api.EngineCongestParallel, api.EngineCongestSharded, api.EngineCongestTCP:
+		switch o.Engine {
+		case api.EngineCongestParallel:
 			opts = append(opts, distcover.WithParallelEngine())
-		}
-		if o.Engine == api.EngineCongestTCP {
+		case api.EngineCongestSharded:
+			opts = append(opts, distcover.WithShardedEngine(), distcover.WithShardCount(o.Shards))
+		case api.EngineCongestTCP:
 			opts = append(opts, distcover.WithTCPEngine())
 		}
 		sol, stats, err := distcover.SolveCongest(inst, opts...)
