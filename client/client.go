@@ -137,6 +137,62 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*api.
 	}
 }
 
+// CreateSession opens an incremental solving session for the instance: the
+// server solves it once and keeps the primal/dual state so UpdateSession
+// batches re-solve only the residual uncovered part.
+func (c *Client) CreateSession(ctx context.Context, inst *distcover.Instance, opts api.SolveOptions) (*api.SessionInfo, error) {
+	raw, err := EncodeInstance(inst)
+	if err != nil {
+		return nil, err
+	}
+	var info api.SessionInfo
+	if err := c.post(ctx, "/v1/sessions", api.SessionRequest{Instance: raw, Options: opts}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// UpdateSession applies one delta batch to a session and returns what the
+// residual re-solve did together with the refreshed session state.
+func (c *Client) UpdateSession(ctx context.Context, id string, delta api.SessionDelta) (*api.SessionUpdateResult, error) {
+	var res api.SessionUpdateResult
+	if err := c.post(ctx, "/v1/sessions/"+id+"/update", delta, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Session fetches the current state of a session.
+func (c *Client) Session(ctx context.Context, id string) (*api.SessionInfo, error) {
+	var info api.SessionInfo
+	if err := c.get(ctx, "/v1/sessions/"+id, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// CloseSession deletes a session on the server.
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.baseURL+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return nil
+	case resp.StatusCode == http.StatusNotFound:
+		return ErrNotFound
+	default:
+		return fmt.Errorf("client: unexpected status %s", resp.Status)
+	}
+}
+
 // Health fetches the server's health summary.
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	var h api.Health

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"distcover/internal/bench"
+	"distcover/internal/bench/sessions"
 )
 
 func main() {
@@ -51,22 +52,40 @@ func run() error {
 		baseline  = flag.String("baseline", "", "compare engine-throughput readings against this baseline file; exit 1 on regression")
 		writeBase = flag.String("writebaseline", "", "measure engine throughput and merge the readings into this baseline file")
 		tol       = flag.Float64("tol", 0, "regression tolerance as a fraction; >0 overrides the baseline's default and per-entry tolerances (0 = use them)")
-		portable  = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, speedup ratios), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
+		portable  = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, speedup ratios, alloc counts), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
+		suites    = flag.String("suite", "engines,sessions,allocs", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, sessions = E12 incremental, allocs = hot-path allocation counts)")
 	)
 	flag.Parse()
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-3s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("%-3s %s\n", "E12", "Incremental sessions: residual re-solve vs from-scratch (lives outside the bench registry; see -suite)")
 		return nil
 	}
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	if *baseline != "" || *writeBase != "" {
-		// Baseline mode runs the engine-throughput suite only; -exp does not
+		// Baseline mode runs the measurement suites only; -exp does not
 		// apply (run the command again without -baseline for other tables).
-		return runBaseline(cfg, *baseline, *writeBase, *jsonPath, *tol, *portable)
+		return runBaseline(cfg, *baseline, *writeBase, *jsonPath, *tol, *portable, *suites)
 	}
-	tables, err := bench.Run(*exp, cfg)
+	var tables []bench.Table
+	var err error
+	// E12 imports the public session API and therefore lives outside the
+	// bench registry (import cycle with the root package's tests).
+	switch {
+	case strings.EqualFold(*exp, "E12"):
+		tables, err = sessions.IncrementalSessions(cfg)
+	case strings.EqualFold(*exp, "all"):
+		tables, err = bench.Run(*exp, cfg)
+		if err == nil {
+			var extra []bench.Table
+			extra, err = sessions.IncrementalSessions(cfg)
+			tables = append(tables, extra...)
+		}
+	default:
+		tables, err = bench.Run(*exp, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -82,13 +101,43 @@ func run() error {
 	return nil
 }
 
-// runBaseline measures the engine-throughput suite and either merges the
-// readings into a baseline file (-writebaseline) or compares against one
+// runBaseline measures the selected suites and either merges the readings
+// into a baseline file (-writebaseline) or compares against one
 // (-baseline), returning an error — non-zero exit — on any regression.
-func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol float64, portable bool) error {
-	ms, tables, err := bench.MeasureEngines(cfg)
-	if err != nil {
-		return err
+func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol float64, portable bool, suites string) error {
+	type suite struct {
+		name string
+		run  func(bench.Config) ([]bench.Measurement, []bench.Table, error)
+	}
+	known := map[string]func(bench.Config) ([]bench.Measurement, []bench.Table, error){
+		"engines":  bench.MeasureEngines,
+		"sessions": sessions.MeasureIncremental,
+		"allocs":   sessions.MeasureAllocs,
+	}
+	var selected []suite
+	for _, name := range strings.Split(suites, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		run, ok := known[name]
+		if !ok {
+			return fmt.Errorf("-suite: unknown suite %q (have engines, sessions, allocs)", name)
+		}
+		selected = append(selected, suite{name: name, run: run})
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("-suite: no suites selected")
+	}
+	var ms []bench.Measurement
+	var tables []bench.Table
+	for _, s := range selected {
+		sms, stables, err := s.run(cfg)
+		if err != nil {
+			return fmt.Errorf("suite %s: %w", s.name, err)
+		}
+		ms = append(ms, sms...)
+		tables = append(tables, stables...)
 	}
 	for _, t := range tables {
 		t.Fprint(os.Stdout)

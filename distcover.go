@@ -232,16 +232,7 @@ func SolveCongest(in *Instance, opts ...Option) (*Solution, *CongestStats, error
 	}
 	ecfg := optConfig(opts)
 	cfg := ecfg.core
-	var eng congest.Engine = congest.SequentialEngine{}
-	switch ecfg.engine {
-	case engineParallel:
-		eng = congest.ParallelEngine{}
-	case engineSharded:
-		eng = congest.ShardedEngine{Shards: ecfg.shards}
-	case engineTCP:
-		eng = congest.NetEngine{Codec: core.WireCodec{}}
-	}
-	res, metrics, err := core.RunCongest(in.g, cfg, eng, congest.Options{Validate: true})
+	res, metrics, err := core.RunCongest(in.g, cfg, ecfg.buildEngine(), congest.Options{Validate: true})
 	if err != nil {
 		return nil, nil, fmt.Errorf("distcover: %w", err)
 	}

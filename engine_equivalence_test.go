@@ -138,6 +138,108 @@ func TestEngineEquivalenceOnCoverProtocol(t *testing.T) {
 	}
 }
 
+// randomDelta draws a delta batch for an instance that currently has n
+// vertices: occasionally new vertices, and a few random edges over the
+// union of old and new ids. Returns the delta and the new vertex count.
+func randomDelta(rng *rand.Rand, n int) (Delta, int) {
+	var d Delta
+	for i := 0; i < rng.Intn(3); i++ {
+		d.Weights = append(d.Weights, 1+rng.Int63n(30))
+	}
+	total := n + len(d.Weights)
+	for i := 0; i < 1+rng.Intn(5); i++ {
+		k := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		var e []int
+		for len(e) < k {
+			v := rng.Intn(total)
+			if !seen[v] {
+				seen[v] = true
+				e = append(e, v)
+			}
+		}
+		d.Edges = append(d.Edges, e)
+	}
+	return d, total
+}
+
+// TestSessionReplayAcrossEngines is the session-replay property test: for
+// random instances and random delta sequences, the incremental
+// Session.Update path must — on the simulator and on every in-memory
+// CONGEST engine — keep producing a valid cover whose realized RatioBound
+// stays within the f(1+ε) session certificate, and whose weight stays
+// within that certificate of a from-scratch solve of the same instance
+// (both dual values lower-bound the same OPT). The congest engines must
+// additionally agree with the simulator session exactly, since residual
+// solves run the identical warm-start arithmetic on every path.
+func TestSessionReplayAcrossEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for i := 0; i < 12; i++ {
+		g := randomEquivalenceInstance(t, rng, i)
+		inst := &Instance{g: g}
+		sessions := map[string]*Session{}
+		for name, opts := range map[string][]Option{
+			"sim":        {},
+			"sequential": {WithSequentialEngine()},
+			"parallel":   {WithParallelEngine()},
+			"sharded":    {WithShardedEngine(), WithShardCount(3)},
+		} {
+			s, err := NewSession(inst, opts...)
+			if err != nil {
+				t.Fatalf("instance %d: %s: %v", i, name, err)
+			}
+			sessions[name] = s
+		}
+		cur := inst
+		n := g.NumVertices()
+		for batch := 0; batch < 5; batch++ {
+			var d Delta
+			d, n = randomDelta(rng, n)
+			var err error
+			cur, err = cur.Extend(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch, err := Solve(cur)
+			if err != nil {
+				t.Fatalf("instance %d batch %d: scratch: %v", i, batch, err)
+			}
+			// The simulator session updates first: it is the reference the
+			// engine sessions are compared against within the batch.
+			ref := sessions["sim"]
+			for _, name := range []string{"sim", "sequential", "parallel", "sharded"} {
+				s := sessions[name]
+				if _, err := s.Update(d); err != nil {
+					t.Fatalf("instance %d batch %d: %s: %v", i, batch, name, err)
+				}
+				sol := s.Solution()
+				if !cur.IsCover(sol.Cover) {
+					t.Fatalf("instance %d batch %d: %s produced an invalid cover", i, batch, name)
+				}
+				bound := s.CertifiedBound()
+				if sol.RatioBound > bound*(1+1e-9) {
+					t.Fatalf("instance %d batch %d: %s ratio %g exceeds certificate %g",
+						i, batch, name, sol.RatioBound, bound)
+				}
+				if w := float64(sol.Weight); w > bound*scratch.DualLowerBound*(1+1e-9) {
+					t.Fatalf("instance %d batch %d: %s weight %g vs scratch dual %g breaks certificate %g",
+						i, batch, name, w, scratch.DualLowerBound, bound)
+				}
+				if s.Hash() != cur.Hash() {
+					t.Fatalf("instance %d batch %d: %s hash drifted", i, batch, name)
+				}
+				if name != "sim" {
+					refSol := ref.Solution()
+					if !reflect.DeepEqual(sol.Cover, refSol.Cover) || sol.DualLowerBound != refSol.DualLowerBound {
+						t.Fatalf("instance %d batch %d: %s session diverges from simulator session",
+							i, batch, name)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestEngineEquivalencePublicAPI checks the same property through the
 // public SolveCongest options, including the resolved Solution fields.
 func TestEngineEquivalencePublicAPI(t *testing.T) {

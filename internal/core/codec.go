@@ -25,6 +25,8 @@ const (
 	tagVertexCovered
 	tagEdgeUpdate
 	tagEdgeCovered
+	tagVertexInfoRes
+	tagEdgeInitRes
 )
 
 // ErrBadWireMessage reports a frame that does not decode.
@@ -58,6 +60,19 @@ func (WireCodec) Encode(m congest.Message) ([]byte, error) {
 		return buf, nil
 	case msgEdgeCovered:
 		return []byte{tagEdgeCovered}, nil
+	case msgVertexInfoRes:
+		buf := []byte{tagVertexInfoRes}
+		buf = binary.AppendUvarint(buf, uint64(msg.w))
+		buf = binary.AppendUvarint(buf, uint64(msg.deg))
+		buf = binary.AppendUvarint(buf, uint64(msg.level))
+		return buf, nil
+	case msgEdgeInitRes:
+		buf := []byte{tagEdgeInitRes}
+		buf = binary.AppendUvarint(buf, uint64(msg.wMin))
+		buf = binary.AppendUvarint(buf, uint64(msg.degMin))
+		buf = binary.AppendUvarint(buf, uint64(msg.levelMin))
+		buf = binary.AppendUvarint(buf, uint64(msg.localDelta))
+		return buf, nil
 	default:
 		return nil, fmt.Errorf("core: cannot encode message type %T", m)
 	}
@@ -110,9 +125,36 @@ func (WireCodec) Decode(data []byte) (congest.Message, error) {
 		return msgEdgeUpdate{halvings: int64(halvings), raised: body[n1] == 1}, nil
 	case tagEdgeCovered:
 		return msgEdgeCovered{}, nil
+	case tagVertexInfoRes:
+		fields, err := uvarints(body, 3, "vertexInfoRes")
+		if err != nil {
+			return nil, err
+		}
+		return msgVertexInfoRes{w: fields[0], deg: fields[1], level: fields[2]}, nil
+	case tagEdgeInitRes:
+		fields, err := uvarints(body, 4, "edgeInitRes")
+		if err != nil {
+			return nil, err
+		}
+		return msgEdgeInitRes{wMin: fields[0], degMin: fields[1], levelMin: fields[2], localDelta: fields[3]}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadWireMessage, data[0])
 	}
+}
+
+// uvarints decodes exactly want varints from body.
+func uvarints(body []byte, want int, what string) ([]int64, error) {
+	out := make([]int64, want)
+	off := 0
+	for i := range out {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: %s field %d", ErrBadWireMessage, what, i)
+		}
+		out[i] = int64(v)
+		off += n
+	}
+	return out, nil
 }
 
 func boolByte(b bool) byte {

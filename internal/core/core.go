@@ -309,7 +309,7 @@ func Run(g *hypergraph.Hypergraph, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if opts.Exact {
-		return runLockstep(newRatNumeric(), g, opts)
+		return runLockstep(newRatNumeric(), g, opts, nil)
 	}
-	return runLockstep(floatNumeric{}, g, opts)
+	return runLockstep(floatNumeric{}, g, opts, nil)
 }

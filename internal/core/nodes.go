@@ -39,6 +39,10 @@ type protoParams struct {
 	fixedAlpha float64
 	gamma      float64
 	delta      int // global Δ, for AlphaTheorem9
+	// residual switches the init handshake to the warm-start messages that
+	// carry vertex levels (incremental sessions, see residual.go). The
+	// iteration phases are untouched.
+	residual bool
 }
 
 // alphaFor resolves α for an edge whose local maximum degree is localDelta.
@@ -92,6 +96,30 @@ type msgEdgeCovered struct{}
 
 func (msgEdgeCovered) Bits() int { return 1 }
 
+// Residual (warm-start) init messages: identical to msgVertexInfo and
+// msgEdgeInit plus the vertex level implied by the carried dual load, so a
+// new edge can size its first bid to the remaining slack bound w·2^{-ℓ}.
+// Levels are O(log(1/β)) = O(log n) for the FApprox regime, so the messages
+// stay within the CONGEST budget.
+
+type msgVertexInfoRes struct {
+	w, deg, level int64
+}
+
+func (m msgVertexInfoRes) Bits() int {
+	return congest.IntBits(m.w) + congest.IntBits(m.deg) + congest.IntBits(m.level)
+}
+
+type msgEdgeInitRes struct {
+	wMin, degMin, levelMin int64
+	localDelta             int64
+}
+
+func (m msgEdgeInitRes) Bits() int {
+	return congest.IntBits(m.wMin) + congest.IntBits(m.degMin) +
+		congest.IntBits(m.levelMin) + congest.IntBits(m.localDelta)
+}
+
 // The zero-size announcements are boxed once; the per-step messages below
 // are boxed once per step (a node sends the identical value on every link,
 // so per-Send conversion would heap-allocate the same struct deg times —
@@ -132,7 +160,12 @@ func (v *vertexNode) Step(round int, inbox []congest.Envelope, out *congest.Outb
 		if len(v.edges) == 0 {
 			return true // isolated vertex: terminates with empty E'(v)
 		}
-		info := congest.Message(msgVertexInfo{w: v.w, deg: int64(len(v.edges))})
+		var info congest.Message
+		if v.p.residual {
+			info = msgVertexInfoRes{w: v.w, deg: int64(len(v.edges)), level: int64(v.level)}
+		} else {
+			info = msgVertexInfo{w: v.w, deg: int64(len(v.edges))}
+		}
 		for _, e := range v.edges {
 			out.Send(e, info)
 		}
@@ -203,6 +236,13 @@ func (v *vertexNode) processInbox(inbox []congest.Envelope) {
 		switch m := env.Msg.(type) {
 		case msgEdgeInit:
 			b := v.num.FromRatio(m.wMin, 2*m.degMin)
+			v.bid[i] = b
+			v.delta[i] = b
+			v.sumDelta = v.num.Add(v.sumDelta, b)
+			v.alphaE[i] = v.p.alphaFor(int(m.localDelta))
+			v.inited = true
+		case msgEdgeInitRes:
+			b := v.num.HalfPow(v.num.FromRatio(m.wMin, 2*m.degMin), int(m.levelMin))
 			v.bid[i] = b
 			v.delta[i] = b
 			v.sumDelta = v.num.Add(v.sumDelta, b)
@@ -305,7 +345,10 @@ func (e *edgeNode) Step(round int, inbox []congest.Envelope, out *congest.Outbox
 // initPhase runs iteration 0 on the edge side: collect (w, deg) from every
 // member, pick the minimum normalized weight with the deterministic integer
 // tie-break, set bid(e) = w(ve)/(2·|E(ve)|), and report it with the local
-// maximum degree.
+// maximum degree. In residual mode the reports additionally carry the
+// members' warm-start levels and the bid shrinks to the level-discounted
+// slack bound, ½·(w·2^{-ℓ})/deg (same argmin, same float operations as the
+// lockstep warm start in runner.go).
 func (e *edgeNode) initPhase(inbox []congest.Envelope, out *congest.Outbox) bool {
 	// The inbox is sorted by sender (congest.Node contract) and e.verts is
 	// ascending, so a merge walk pairs each member with its report; members
@@ -313,30 +356,45 @@ func (e *edgeNode) initPhase(inbox []congest.Envelope, out *congest.Outbox) bool
 	// the earlier materialized w/deg slices did. Tracking the running
 	// argmin (ties to the lower vertex id = earlier position) and maximum
 	// degree inline avoids allocating per-edge slices.
-	var wBest, degBest, localDelta int64
+	var wBest, degBest, lvlBest, localDelta int64
+	var costBest float64
 	j := 0
 	for i, v := range e.verts {
-		var wi, di int64
+		var wi, di, li int64
 		for j < len(inbox) && inbox[j].From < v {
 			j++
 		}
 		if j < len(inbox) && inbox[j].From == v {
-			if m, ok := inbox[j].Msg.(msgVertexInfo); ok {
+			switch m := inbox[j].Msg.(type) {
+			case msgVertexInfo:
 				wi, di = m.w, m.deg
+			case msgVertexInfoRes:
+				wi, di, li = m.w, m.deg, m.level
 			}
 		}
-		// argmin w/deg by cross-multiplication, strict < keeps the first.
-		if i == 0 || wi*degBest < wBest*di {
+		if e.p.residual {
+			cost := e.num.HalfPow(e.num.FromRatio(wi, di), int(li))
+			if i == 0 || cost < costBest {
+				wBest, degBest, lvlBest, costBest = wi, di, li, cost
+			}
+		} else if i == 0 || wi*degBest < wBest*di {
+			// argmin w/deg by cross-multiplication, strict < keeps the first.
 			wBest, degBest = wi, di
 		}
 		if di > localDelta {
 			localDelta = di
 		}
 	}
-	e.bid = e.num.FromRatio(wBest, 2*degBest)
-	e.delta = e.bid
 	e.alphaE = e.p.alphaFor(int(localDelta))
-	init := congest.Message(msgEdgeInit{wMin: wBest, degMin: degBest, localDelta: localDelta})
+	var init congest.Message
+	if e.p.residual {
+		e.bid = e.num.HalfPow(e.num.FromRatio(wBest, 2*degBest), int(lvlBest))
+		init = msgEdgeInitRes{wMin: wBest, degMin: degBest, levelMin: lvlBest, localDelta: localDelta}
+	} else {
+		e.bid = e.num.FromRatio(wBest, 2*degBest)
+		init = msgEdgeInit{wMin: wBest, degMin: degBest, localDelta: localDelta}
+	}
+	e.delta = e.bid
 	for _, v := range e.verts {
 		out.Send(v, init)
 	}
@@ -347,6 +405,13 @@ func (e *edgeNode) initPhase(inbox []congest.Envelope, out *congest.Outbox) bool
 // 0..n-1, edge nodes n..n+m-1, one link per incidence. It returns the
 // network plus the node handles used to extract the result after a run.
 func BuildNetwork(g *hypergraph.Hypergraph, opts Options) (*congest.Network, []*vertexNode, []*edgeNode, error) {
+	return buildNetwork(g, opts, nil)
+}
+
+// buildNetwork is BuildNetwork plus the optional warm start: with a non-nil
+// carry, vertex node v is seeded with Σδ = carry[v] and the level that load
+// implies, and the protocol runs the residual init handshake (residual.go).
+func buildNetwork(g *hypergraph.Hypergraph, opts Options, carry []float64) (*congest.Network, []*vertexNode, []*edgeNode, error) {
 	if err := opts.validate(g); err != nil {
 		return nil, nil, nil, err
 	}
@@ -361,6 +426,7 @@ func BuildNetwork(g *hypergraph.Hypergraph, opts Options) (*congest.Network, []*
 		fixedAlpha: opts.FixedAlpha,
 		gamma:      opts.Gamma,
 		delta:      g.MaxDegree(),
+		residual:   carry != nil,
 	}
 	n, m := g.NumVertices(), g.NumEdges()
 	nw := congest.NewNetwork()
@@ -395,6 +461,17 @@ func BuildNetwork(g *hypergraph.Hypergraph, opts Options) (*congest.Network, []*
 			alphaE:  alphaArena[off : off+k : off+k],
 			covered: coveredArena[off : off+k : off+k],
 			uncov:   k,
+		}
+		if carry != nil {
+			// Seed the carried load and derive the level with the step-3d
+			// formula — the same float operations the lockstep warm start
+			// performs, so both paths agree bit for bit.
+			num := floatNumeric{}
+			vn.sumDelta = carry[v]
+			wf := float64(vn.w)
+			for num.Add(vn.sumDelta, num.HalfPow(wf, vn.level+1)) > wf {
+				vn.level++
+			}
 		}
 		off += k
 		vnodes[v] = vn

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"distcover/internal/congest"
+	"distcover/internal/hypergraph"
+)
+
+// This file implements the warm-started residual solves behind incremental
+// cover sessions (distcover.Session). The observation is that Algorithm
+// MWHVC is monotone in the duals: a vertex that carries load Σδ = carry[v]
+// from earlier solves behaves exactly like a mid-run vertex of a single
+// larger execution. Re-running the level algorithm on just the residual
+// instance — the uncovered new edges and their incident vertices — with the
+// carried loads seeded therefore extends the existing primal/dual state
+// instead of recomputing it:
+//
+//   - Dual feasibility (Claim 1) is preserved: the vertex level is derived
+//     from the carried load with the step-3d formula, which guarantees
+//     slack(v) ≥ w(v)·2^{-(ℓ(v)+1)}, and the warm iteration-0 bid
+//     ½·(w·2^{-ℓ})/deg fits inside it. Every later addition is governed by
+//     the unmodified level/halving mechanism.
+//   - Every vertex still joins the cover only when Σδ ≥ (1-β)·w(v) with
+//     β = ε/(f+ε) of the solve it joined under. Since (1-β) ≥ 1/(1+ε) for
+//     every f ≥ 1, the union cover after any number of delta batches obeys
+//     w(C) ≤ (1+ε)·Σ_{v∈C} Σ_{e∋v} δ(e) ≤ f·(1+ε)·Σ_e δ(e),
+//     the f(1+ε) certificate the session reports (the rank f may grow as
+//     edges arrive, which is why the clean per-solve (f+ε) bound relaxes).
+//
+// ErrBadCarry is returned when the carried loads are out of range.
+var ErrBadCarry = errors.New("core: invalid carry load")
+
+// validateCarry checks the warm-start loads against the residual instance.
+func validateCarry(g *hypergraph.Hypergraph, carry []float64) error {
+	if len(carry) != g.NumVertices() {
+		return fmt.Errorf("%w: %d loads for %d vertices", ErrBadCarry, len(carry), g.NumVertices())
+	}
+	for v, c := range carry {
+		w := float64(g.Weight(hypergraph.VertexID(v)))
+		if c < 0 || c >= w || c != c {
+			return fmt.Errorf("%w: vertex %d load %g outside [0, w=%g)", ErrBadCarry, v, c, w)
+		}
+	}
+	return nil
+}
+
+// RunResidual executes a warm-started lockstep run on the residual instance
+// g, where carry[v] is the dual load vertex v already accumulated in earlier
+// solves (0 ≤ carry[v] < w(v)). The returned Result covers only the residual
+// solve: Dual holds the duals of the residual edges (new load only), Cover
+// the vertices that joined during this solve.
+func RunResidual(g *hypergraph.Hypergraph, opts Options, carry []float64) (*Result, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	if err := validateCarry(g, carry); err != nil {
+		return nil, err
+	}
+	if opts.Exact {
+		return runLockstep(newRatNumeric(), g, opts, carry)
+	}
+	return runLockstep(floatNumeric{}, g, opts, carry)
+}
+
+// BuildResidualNetwork constructs the bipartite CONGEST network for a
+// residual instance with carried vertex loads: vertex node v starts at the
+// level its load implies and the protocol switches to the residual init
+// messages, which carry that level so edges can size their first bid to the
+// remaining slack. Everything else — topology, node ids, the iteration
+// phases — matches BuildNetwork, so the returned handles run on any engine
+// via RunBuiltNetwork.
+//
+// The network contains only the dirty part of the instance (sessions build
+// it from the residual subinstance), so under the sharded engine only the
+// shards that received new work step at all; the quiescent bulk of a large
+// session never allocates or runs.
+func BuildResidualNetwork(g *hypergraph.Hypergraph, opts Options, carry []float64) (*congest.Network, []*vertexNode, []*edgeNode, error) {
+	if err := validateCarry(g, carry); err != nil {
+		return nil, nil, nil, err
+	}
+	return buildNetwork(g, opts, carry)
+}
+
+// RunResidualCongest is RunResidual on the message-passing path: it builds
+// the residual network and executes the Appendix B protocol (with the
+// residual init handshake) on the given engine. Results are identical to
+// RunResidual — both paths compute the warm iteration 0 with the same float
+// operations in the same order.
+func RunResidualCongest(g *hypergraph.Hypergraph, opts Options, carry []float64,
+	eng congest.Engine, congestOpts congest.Options) (*Result, congest.Metrics, error) {
+	nw, vnodes, enodes, err := BuildResidualNetwork(g, opts, carry)
+	if err != nil {
+		return nil, congest.Metrics{}, err
+	}
+	return RunBuiltNetwork(g, opts, nw, vnodes, enodes, eng, congestOpts)
+}

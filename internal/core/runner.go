@@ -20,7 +20,13 @@ import (
 // A vertex's raise/stuck test sees bids after its own halvings only — other
 // vertices' same-iteration halvings arrive with the edge's next report —
 // matching the distributed reading of steps 3d/3e (footnote 4, Appendix B).
-func runLockstep[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options) (*Result, error) {
+//
+// carry, when non-nil, warm-starts the run for incremental sessions: vertex
+// v begins with Σδ = carry[v] already committed by earlier solves (its level
+// is derived from that load before iteration 0) and the iteration-0 bids
+// shrink to fit the remaining slack; see initIterationZero. carry == nil is
+// the ordinary cold start.
+func runLockstep[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options, carry []float64) (*Result, error) {
 	n, m := g.NumVertices(), g.NumEdges()
 	f := g.Rank()
 	eps := opts.Epsilon
@@ -59,7 +65,7 @@ func runLockstep[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options) 
 		maxIter = defaultIterationCap(f, eps, g.MaxDegree(), globalAlpha)
 	}
 
-	st.initIterationZero()
+	st.initIterationZero(carry)
 
 	res := &Result{
 		Z:       ZLevels(f, eps),
@@ -192,7 +198,15 @@ func (st *state[T]) resolveAlphas(f int, eps float64) float64 {
 // initIterationZero performs iteration 0: bid(e) = ½·min_{v∈e} w(v)/|E(v)|,
 // δ(e) = bid(e), and seeds the vertex aggregates. Isolated vertices
 // terminate immediately.
-func (st *state[T]) initIterationZero() {
+//
+// With a non-nil carry (warm start), Σδ starts at the carried load, the
+// vertex level ℓ(v) is pre-derived from it with the step-3d formula, and
+// the bid rule becomes bid(e) = ½·min_{v∈e} (w(v)·2^{-ℓ(v)})/|E(v)|: since
+// the 3d formula guarantees slack(v) = w(v) - Σδ ≥ w(v)·2^{-(ℓ(v)+1)},
+// every vertex's incident iteration-0 bids sum to at most half its true
+// slack, so dual feasibility (Claim 1) survives the warm start. With all
+// levels 0 — a cold start — the rule reduces to the paper's exactly.
+func (st *state[T]) initIterationZero(carry []float64) {
 	g, num := st.g, st.num
 	f := maxInt(g.Rank(), 1)
 	for v := 0; v < g.NumVertices(); v++ {
@@ -200,6 +214,12 @@ func (st *state[T]) initIterationZero() {
 		st.wT[v] = num.FromRatio(w, 1)
 		st.fWT[v] = num.FromRatio(w*int64(f), 1)
 		st.sumDelta[v] = num.Zero()
+		if carry != nil {
+			st.sumDelta[v] = num.FromFloat(carry[v])
+			for num.Cmp(num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)), st.wT[v]) > 0 {
+				st.level[v]++
+			}
+		}
 		st.sumBid[v] = num.Zero()
 		st.uncovDeg[v] = g.Degree(hypergraph.VertexID(v))
 		if st.uncovDeg[v] == 0 {
@@ -209,14 +229,29 @@ func (st *state[T]) initIterationZero() {
 	for e := 0; e < g.NumEdges(); e++ {
 		vs := g.Edge(hypergraph.EdgeID(e))
 		ve := vs[0]
-		for _, v := range vs[1:] {
-			// argmin w(v)/|E(v)| with deterministic tie-break on lower id:
-			// compare w(v)·deg(ve) < w(ve)·deg(v) in exact integers.
-			if g.Weight(v)*int64(g.Degree(ve)) < g.Weight(ve)*int64(g.Degree(v)) {
-				ve = v
+		var b T
+		if carry == nil {
+			for _, v := range vs[1:] {
+				// argmin w(v)/|E(v)| with deterministic tie-break on lower id:
+				// compare w(v)·deg(ve) < w(ve)·deg(v) in exact integers.
+				if g.Weight(v)*int64(g.Degree(ve)) < g.Weight(ve)*int64(g.Degree(v)) {
+					ve = v
+				}
 			}
+			b = num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve)))
+		} else {
+			// argmin of the level-discounted slack bound; ties keep the
+			// lower id. The congest residual protocol computes the same
+			// quantities with the same float operations (nodes.go).
+			best := num.HalfPow(num.FromRatio(g.Weight(ve), int64(g.Degree(ve))), st.level[ve])
+			for _, v := range vs[1:] {
+				c := num.HalfPow(num.FromRatio(g.Weight(v), int64(g.Degree(v))), st.level[v])
+				if num.Cmp(c, best) < 0 {
+					ve, best = v, c
+				}
+			}
+			b = num.HalfPow(num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve))), st.level[ve])
 		}
-		b := num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve)))
 		st.bid[e] = b
 		st.delta[e] = b
 		for _, v := range vs {

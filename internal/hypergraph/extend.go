@@ -1,0 +1,148 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Extend returns a new hypergraph equal to g plus addWeights appended
+// vertices and addEdges appended hyperedges (referencing old and new
+// vertices alike). g is unchanged and remains fully usable.
+//
+// Extend is built for incremental sessions, where it runs on every delta
+// batch, so its cost is amortized O(n + |Δ| + Σ deg(touched)) rather than a
+// full O(n + m) rebuild:
+//
+//   - The weight and edge arrays grow with headroom, and the first Extend
+//     from a graph claims the spare capacity behind them (atomically), so a
+//     linear chain of extensions appends in place instead of copying the
+//     whole prefix every time. Branching extensions from one base remain
+//     correct — later claimants fall back to copying.
+//   - Incidence lists are updated only for the vertices the new edges
+//     touch; untouched vertices keep sharing the base graph's storage.
+//   - The canonical edge order behind Hash is maintained by merging the
+//     sorted new suffix into the base order — O(m) merge, no re-sort.
+func (g *Hypergraph) Extend(addWeights []int64, addEdges [][]VertexID) (*Hypergraph, error) {
+	n := len(g.weights) + len(addWeights)
+	m0 := len(g.edges)
+	for i, w := range addWeights {
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: vertex %d has weight %d",
+				ErrNonPositiveWeight, len(g.weights)+i, w)
+		}
+	}
+	newEdges := make([][]VertexID, len(addEdges))
+	for i, e := range addEdges {
+		vs := sortedUnique(e)
+		if len(vs) == 0 {
+			return nil, fmt.Errorf("%w: edge %d", ErrEmptyEdge, m0+i)
+		}
+		for _, v := range vs {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("%w: edge %d references vertex %d (n=%d)",
+					ErrVertexRange, m0+i, v, n)
+			}
+		}
+		newEdges[i] = vs
+	}
+	if m0+len(newEdges) > 0 && n == 0 {
+		return nil, ErrNoVertices
+	}
+
+	h := &Hypergraph{rank: g.rank, maxDegree: g.maxDegree}
+	// Claim g's spare capacity if we are the first extension from it; the
+	// in-place appends below never touch indices the base graph can read.
+	// Along a claim chain every backing position beyond a graph's length is
+	// written by exactly one descendant, so sharing stays sound.
+	claimed := atomic.CompareAndSwapUint32(&g.extended, 0, 1)
+	if claimed {
+		h.weights = append(g.weights, addWeights...)
+		h.edges = append(g.edges, newEdges...)
+	} else {
+		h.weights = append(growCopy(g.weights, len(addWeights)), addWeights...)
+		h.edges = append(growCopy(g.edges, len(newEdges)), newEdges...)
+	}
+
+	// Incidence: copy the headers, then rebuild only the touched vertices.
+	// A touched old vertex's list is always copied out of the base storage
+	// on first touch: its backing may be aliased by arbitrarily many
+	// branches (untouched vertices share headers across the whole extension
+	// tree), so unlike weights/edges the per-graph claim cannot authorize
+	// appending into spare capacity. New vertices own their lists outright.
+	h.incidence = make([][]EdgeID, n)
+	copy(h.incidence, g.incidence)
+	for i, vs := range newEdges {
+		if len(vs) > h.rank {
+			h.rank = len(vs)
+		}
+		id := EdgeID(m0 + i)
+		for _, v := range vs {
+			if int(v) < len(g.incidence) && len(h.incidence[v]) == len(g.incidence[v]) {
+				h.incidence[v] = growCopy(g.incidence[v], 1)
+			}
+			h.incidence[v] = append(h.incidence[v], id)
+			if len(h.incidence[v]) > h.maxDegree {
+				h.maxDegree = len(h.incidence[v])
+			}
+		}
+	}
+
+	h.canon = mergeCanonicalOrder(h.edges, g.canon, m0)
+	return h, nil
+}
+
+// growCopy copies s into a fresh slice with headroom for extra plus 25%,
+// so a chain of copying extensions stays amortized linear.
+func growCopy[T any](s []T, extra int) []T {
+	out := make([]T, len(s), len(s)+extra+len(s)/4)
+	copy(out, s)
+	return out
+}
+
+// mergeCanonicalOrder computes the canonical (lexicographic) edge order of
+// the extended edge list by merging the base order of edges[:m0] — cached
+// if a prior Extend left one, sorted once otherwise — with the sorted order
+// of the new suffix edges[m0:]. Each new edge's insertion point is found by
+// binary search and the runs between them are block-copied, so the merge
+// costs O(k·(log k + log m)) comparisons plus one O(m) memmove — the
+// comparator never walks the whole old order.
+func mergeCanonicalOrder(edges [][]VertexID, oldOrder []int, m0 int) []int {
+	if oldOrder == nil {
+		oldOrder = canonicalEdgeOrder(edges[:m0])
+	}
+	newOrder := canonicalEdgeOrder(edges[m0:])
+	if len(newOrder) == 0 {
+		return oldOrder // shared read-only with the base graph
+	}
+	for i := range newOrder {
+		newOrder[i] += m0
+	}
+	merged := make([]int, 0, len(edges))
+	prev := 0
+	for _, ne := range newOrder {
+		e := edges[ne]
+		// First old position the new edge sorts strictly before; ties keep
+		// old edges first (equal edges hash identically either way), and
+		// newOrder being sorted keeps the positions non-decreasing.
+		pos := prev + sort.Search(len(oldOrder)-prev, func(i int) bool {
+			return edgeLexLess(e, edges[oldOrder[prev+i]])
+		})
+		merged = append(merged, oldOrder[prev:pos]...)
+		merged = append(merged, ne)
+		prev = pos
+	}
+	merged = append(merged, oldOrder[prev:]...)
+	return merged
+}
+
+// edgeLexLess is the canonical edge comparator: lexicographic on the sorted
+// vertex lists, shorter prefixes first. Must match canonicalEdgeOrder.
+func edgeLexLess(a, b []VertexID) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,216 @@
+package hypergraph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestExtendBasics(t *testing.T) {
+	g := MustNew([]int64{3, 1, 4}, [][]VertexID{{0, 1}, {1, 2}})
+	h, err := g.Extend([]int64{7}, [][]VertexID{{2, 3}, {0, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 4 || h.NumEdges() != 4 {
+		t.Fatalf("got n=%d m=%d", h.NumVertices(), h.NumEdges())
+	}
+	if h.Weight(3) != 7 {
+		t.Fatalf("new vertex weight %d", h.Weight(3))
+	}
+	if h.Rank() != 3 {
+		t.Fatalf("rank %d, want 3", h.Rank())
+	}
+	if got := h.Incident(3); len(got) != 2 {
+		t.Fatalf("incidence of new vertex: %v", got)
+	}
+	if err := Validate(h); err != nil {
+		t.Fatalf("extended graph invalid: %v", err)
+	}
+	// The base graph must be untouched.
+	if g.NumVertices() != 3 || g.NumEdges() != 2 || g.Rank() != 2 {
+		t.Fatalf("base mutated: %v", g)
+	}
+}
+
+func TestExtendValidation(t *testing.T) {
+	g := MustNew([]int64{1, 1}, [][]VertexID{{0, 1}})
+	if _, err := g.Extend([]int64{0}, nil); !errors.Is(err, ErrNonPositiveWeight) {
+		t.Fatalf("zero weight: %v", err)
+	}
+	if _, err := g.Extend(nil, [][]VertexID{{}}); !errors.Is(err, ErrEmptyEdge) {
+		t.Fatalf("empty edge: %v", err)
+	}
+	if _, err := g.Extend(nil, [][]VertexID{{0, 2}}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+	// New edges may reference vertices added in the same extension.
+	if _, err := g.Extend([]int64{5}, [][]VertexID{{0, 2}}); err != nil {
+		t.Fatalf("edge to new vertex: %v", err)
+	}
+}
+
+// TestExtendHashMatchesRebuild is the re-canonicalization property: the
+// incrementally maintained canonical order must produce exactly the hash a
+// from-scratch build of the same instance produces, across chained
+// extensions and regardless of edge insertion order.
+func TestExtendHashMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := []int64{5, 2, 9, 4}
+	edges := [][]VertexID{{0, 1}, {2, 3}, {1, 2, 3}}
+	g := MustNew(weights, edges)
+	for step := 0; step < 20; step++ {
+		var addW []int64
+		for i := 0; i < rng.Intn(3); i++ {
+			addW = append(addW, 1+rng.Int63n(50))
+		}
+		n := len(weights) + len(addW)
+		var addE [][]VertexID
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			k := 1 + rng.Intn(3)
+			var e []VertexID
+			for j := 0; j < k; j++ {
+				e = append(e, VertexID(rng.Intn(n)))
+			}
+			addE = append(addE, e)
+		}
+		h, err := g.Extend(addW, addE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights = append(weights, addW...)
+		for _, e := range addE {
+			edges = append(edges, sortedUnique(e))
+		}
+		fresh := MustNew(weights, edges)
+		if h.Hash() != fresh.Hash() {
+			t.Fatalf("step %d: incremental hash %s != rebuild hash %s", step, h.Hash(), fresh.Hash())
+		}
+		// Shuffled edge insertion order must not change the hash either.
+		perm := rng.Perm(len(edges))
+		shuffled := make([][]VertexID, len(edges))
+		for i, p := range perm {
+			shuffled[i] = edges[p]
+		}
+		if MustNew(weights, shuffled).Hash() != h.Hash() {
+			t.Fatalf("step %d: hash depends on edge order", step)
+		}
+		g = h
+	}
+}
+
+func TestExtendStructureMatchesRebuild(t *testing.T) {
+	g := MustNew([]int64{2, 3, 5}, [][]VertexID{{0, 1}, {1, 2}})
+	h, err := g.Extend([]int64{8, 1}, [][]VertexID{{3, 4}, {0, 4}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNew(
+		[]int64{2, 3, 5, 8, 1},
+		[][]VertexID{{0, 1}, {1, 2}, {3, 4}, {0, 4}, {2, 3}},
+	)
+	if h.MaxDegree() != fresh.MaxDegree() || h.Rank() != fresh.Rank() {
+		t.Fatalf("stats diverge: %v vs %v", h, fresh)
+	}
+	for v := 0; v < fresh.NumVertices(); v++ {
+		if !reflect.DeepEqual(h.Incident(VertexID(v)), fresh.Incident(VertexID(v))) {
+			t.Fatalf("incidence of %d: %v vs %v", v, h.Incident(VertexID(v)), fresh.Incident(VertexID(v)))
+		}
+	}
+}
+
+// TestExtendBranching: two extensions from one base must not corrupt each
+// other or the base — only the first claims the in-place fast path, and
+// touched incidence lists must be copied out of shared storage.
+func TestExtendBranching(t *testing.T) {
+	base := MustNew([]int64{2, 3, 5, 7}, [][]VertexID{{0, 1}, {2, 3}})
+	// Chain once so base's backing has spare capacity to fight over.
+	g, err := base.Extend(nil, [][]VertexID{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.Extend([]int64{11}, [][]VertexID{{0, 4}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Extend([]int64{13}, [][]VertexID{{2, 4}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := MustNew([]int64{2, 3, 5, 7, 11},
+		[][]VertexID{{0, 1}, {2, 3}, {1, 2}, {0, 4}, {1, 3}})
+	wantB := MustNew([]int64{2, 3, 5, 7, 13},
+		[][]VertexID{{0, 1}, {2, 3}, {1, 2}, {2, 4}, {0, 3}})
+	for _, tc := range []struct{ got, want *Hypergraph }{{a, wantA}, {b, wantB}} {
+		if tc.got.Hash() != tc.want.Hash() {
+			t.Fatalf("branched extension diverges:\n got %v\nwant %v", tc.got, tc.want)
+		}
+		for v := 0; v < tc.want.NumVertices(); v++ {
+			if !reflect.DeepEqual(tc.got.Incident(VertexID(v)), tc.want.Incident(VertexID(v))) {
+				t.Fatalf("incidence of %d: %v vs %v", v, tc.got.Incident(VertexID(v)), tc.want.Incident(VertexID(v)))
+			}
+		}
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 || g.Weight(3) != 7 {
+		t.Fatalf("base mutated by branching: %v", g)
+	}
+	if err := Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtendDeepBranching reproduces the aliasing hazard of branches that
+// diverge *below* the claim point: g1 grows v's incidence list (leaving
+// spare capacity), two children g2/g3 both inherit the header untouched,
+// and each child's own claimed extension then touches v. Without the
+// unconditional copy-on-first-touch both would append into the same
+// backing slot.
+func TestExtendDeepBranching(t *testing.T) {
+	g0 := MustNew([]int64{1, 1, 1}, [][]VertexID{{0, 1}})
+	g1, err := g0.Extend(nil, [][]VertexID{{0, 2}}) // touches 0: list gains spare capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g1.Extend(nil, [][]VertexID{{1, 2}}) // claims g1, does not touch 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := g1.Extend(nil, [][]VertexID{{1, 2}}) // unclaimed, does not touch 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := g2.Extend(nil, [][]VertexID{{0, 1}}) // claims g2, touches 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	g5, err := g3.Extend(nil, [][]VertexID{{0, 2}}) // claims g3, touches 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g4.Incident(0), []EdgeID{0, 1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("g4 incidence of 0: %v, want %v", got, want)
+	}
+	if got, want := g5.Incident(0), []EdgeID{0, 1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("g5 incidence of 0: %v, want %v", got, want)
+	}
+	for name, g := range map[string]*Hypergraph{"g2": g2, "g3": g3, "g4": g4, "g5": g5} {
+		if err := Validate(g); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestExtendNoEdges(t *testing.T) {
+	g := MustNew([]int64{1}, [][]VertexID{{0}})
+	h, err := g.Extend(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Hash() != g.Hash() {
+		t.Fatal("no-op extension changed the hash")
+	}
+}

@@ -33,7 +33,10 @@ func (g *Hypergraph) Hash() string {
 	for _, w := range g.weights {
 		put(uint64(w))
 	}
-	order := canonicalEdgeOrder(g.edges)
+	order := g.canon // maintained incrementally by Extend
+	if order == nil {
+		order = canonicalEdgeOrder(g.edges)
+	}
 	put(uint64(len(g.edges)))
 	for _, e := range order {
 		vs := g.edges[e]
@@ -53,13 +56,7 @@ func canonicalEdgeOrder(edges [][]VertexID) []int {
 		order[i] = i
 	}
 	sort.Slice(order, func(i, j int) bool {
-		a, b := edges[order[i]], edges[order[j]]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
+		return edgeLexLess(edges[order[i]], edges[order[j]])
 	})
 	return order
 }

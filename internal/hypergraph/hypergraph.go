@@ -31,6 +31,12 @@ type Hypergraph struct {
 	incidence [][]EdgeID   // incidence[v] = sorted edge ids containing v
 	rank      int          // max |edges[e]|, 0 if no edges
 	maxDegree int          // max |incidence[v]|, 0 if no edges
+	canon     []int        // cached canonical edge order (see Hash); nil until Extend computes it
+	// extended guards the spare capacity behind weights/edges: the first
+	// Extend from this graph claims it with a CAS and may append in place
+	// (the base graph only ever reads indices below its lengths); later
+	// Extends from the same base copy. Accessed atomically.
+	extended uint32
 }
 
 // NumVertices returns |V|.
@@ -210,6 +216,7 @@ func (g *Hypergraph) Clone() *Hypergraph {
 	for i, inc := range g.incidence {
 		h.incidence[i] = append([]EdgeID(nil), inc...)
 	}
+	h.canon = append([]int(nil), g.canon...)
 	return h
 }
 
@@ -220,22 +227,41 @@ func (g *Hypergraph) String() string {
 }
 
 // buildIncidence computes incidence lists, rank and max degree from edges.
-// It assumes edges hold sorted, distinct, in-range vertex ids.
+// It assumes edges hold sorted, distinct, in-range vertex ids. All lists
+// are carved out of one shared arena (two allocations total, full-capacity
+// slices so an accidental append copies instead of corrupting a neighbor) —
+// at incremental-session scale the rebuild after every delta batch would
+// otherwise allocate one slice per vertex.
 func (g *Hypergraph) buildIncidence() {
-	g.incidence = make([][]EdgeID, len(g.weights))
+	n := len(g.weights)
+	g.incidence = make([][]EdgeID, n)
 	g.rank = 0
-	for e, vs := range g.edges {
+	totalInc := 0
+	for _, vs := range g.edges {
 		if len(vs) > g.rank {
 			g.rank = len(vs)
 		}
+		totalInc += len(vs)
+	}
+	counts := make([]int, n)
+	for _, vs := range g.edges {
 		for _, v := range vs {
-			g.incidence[v] = append(g.incidence[v], EdgeID(e))
+			counts[v]++
 		}
 	}
+	arena := make([]EdgeID, totalInc)
 	g.maxDegree = 0
-	for _, inc := range g.incidence {
-		if len(inc) > g.maxDegree {
-			g.maxDegree = len(inc)
+	off := 0
+	for v := 0; v < n; v++ {
+		g.incidence[v] = arena[off : off : off+counts[v]]
+		off += counts[v]
+		if counts[v] > g.maxDegree {
+			g.maxDegree = counts[v]
+		}
+	}
+	for e, vs := range g.edges {
+		for _, v := range vs {
+			g.incidence[v] = append(g.incidence[v], EdgeID(e))
 		}
 	}
 }

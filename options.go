@@ -1,6 +1,9 @@
 package distcover
 
-import "distcover/internal/core"
+import (
+	"distcover/internal/congest"
+	"distcover/internal/core"
+)
 
 // Option configures Solve, SolveCongest and SolveILP.
 type Option interface {
@@ -11,6 +14,11 @@ type solveConfig struct {
 	core   core.Options
 	engine engineKind
 	shards int
+	// congest records that an engine option was given explicitly. Solve and
+	// SolveCongest ignore it (their execution path is fixed by the call);
+	// sessions use it to decide between the lockstep simulator (default)
+	// and the message protocol on the selected engine.
+	congest bool
 }
 
 type engineKind int
@@ -87,11 +95,26 @@ func WithInvariantChecks() Option {
 	return optionFunc(func(c *solveConfig) { c.core.CheckInvariants = true })
 }
 
+// WithSequentialEngine explicitly selects the deterministic sequential
+// CONGEST engine — SolveCongest's default. Its real use is with sessions:
+// NewSession runs the fast lockstep simulator unless an engine option asks
+// for the message protocol, and this option is how to ask for the default
+// engine. Ignored by Solve.
+func WithSequentialEngine() Option {
+	return optionFunc(func(c *solveConfig) {
+		c.engine = engineSequential
+		c.congest = true
+	})
+}
+
 // WithParallelEngine makes SolveCongest run every network node as its own
 // goroutine with channel-based message delivery. Results are identical to
 // the default deterministic sequential engine. Ignored by Solve.
 func WithParallelEngine() Option {
-	return optionFunc(func(c *solveConfig) { c.engine = engineParallel })
+	return optionFunc(func(c *solveConfig) {
+		c.engine = engineParallel
+		c.congest = true
+	})
 }
 
 // WithShardedEngine makes SolveCongest run the network on the sharded
@@ -102,7 +125,10 @@ func WithParallelEngine() Option {
 // are bit-identical to the other engines. Combine with WithShardCount to
 // pin the partition count. Ignored by Solve.
 func WithShardedEngine() Option {
-	return optionFunc(func(c *solveConfig) { c.engine = engineSharded })
+	return optionFunc(func(c *solveConfig) {
+		c.engine = engineSharded
+		c.congest = true
+	})
 }
 
 // WithShardCount sets the number of node partitions (= pool workers) the
@@ -119,11 +145,28 @@ func WithShardCount(p int) Option {
 // traffic. Each node holds one socket, so keep instances within the file
 // descriptor limit. Ignored by Solve.
 func WithTCPEngine() Option {
-	return optionFunc(func(c *solveConfig) { c.engine = engineTCP })
+	return optionFunc(func(c *solveConfig) {
+		c.engine = engineTCP
+		c.congest = true
+	})
 }
 
 func buildOptions(opts []Option) core.Options {
 	return optConfig(opts).core
+}
+
+// buildEngine materializes the configured CONGEST engine.
+func (c solveConfig) buildEngine() congest.Engine {
+	switch c.engine {
+	case engineParallel:
+		return congest.ParallelEngine{}
+	case engineSharded:
+		return congest.ShardedEngine{Shards: c.shards}
+	case engineTCP:
+		return congest.NetEngine{Codec: core.WireCodec{}}
+	default:
+		return congest.SequentialEngine{}
+	}
 }
 
 func optConfig(opts []Option) solveConfig {

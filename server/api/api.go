@@ -176,6 +176,52 @@ type JobAccepted struct {
 	Status string `json:"status"`
 }
 
+// SessionRequest opens an incremental solving session: the instance is
+// solved once and the server keeps its primal/dual state so later delta
+// batches re-solve only the residual uncovered part.
+type SessionRequest struct {
+	Instance json.RawMessage `json:"instance"`
+	Options  SolveOptions    `json:"options,omitempty"`
+}
+
+// SessionDelta is one update batch: Weights appends vertices, Edges appends
+// hyperedges over old and new vertices alike. The shape mirrors the
+// instance codec, so delta producers can reuse instance tooling.
+type SessionDelta struct {
+	Weights []int64 `json:"weights,omitempty"`
+	Edges   [][]int `json:"edges,omitempty"`
+}
+
+// SessionInfo describes a session's current state. Result carries the
+// cumulative solution over the full instance as updated so far; its
+// RatioBound never exceeds CertifiedBound = f·(1+ε).
+type SessionInfo struct {
+	ID             string       `json:"id"`
+	InstanceHash   string       `json:"instance_hash"`
+	Vertices       int          `json:"vertices"`
+	Edges          int          `json:"edges"`
+	Rank           int          `json:"rank"`
+	Updates        int          `json:"updates"`
+	CertifiedBound float64      `json:"certified_bound"`
+	Result         *SolveResult `json:"result"`
+}
+
+// SessionUpdateResult reports what one delta batch did and the refreshed
+// session state.
+type SessionUpdateResult struct {
+	NewVertices      int          `json:"new_vertices"`
+	NewEdges         int          `json:"new_edges"`
+	CoveredOnArrival int          `json:"covered_on_arrival"`
+	ResidualEdges    int          `json:"residual_edges"`
+	ResidualVertices int          `json:"residual_vertices"`
+	Joined           int          `json:"joined"`
+	AddedWeight      int64        `json:"added_weight"`
+	Iterations       int          `json:"iterations"`
+	Rounds           int          `json:"rounds"`
+	ElapsedMS        float64      `json:"elapsed_ms"`
+	Session          *SessionInfo `json:"session"`
+}
+
 // Health is the GET /healthz response.
 type Health struct {
 	Status        string `json:"status"`
@@ -183,6 +229,7 @@ type Health struct {
 	QueueDepth    int    `json:"queue_depth"`
 	QueueCapacity int    `json:"queue_capacity"`
 	CacheEntries  int    `json:"cache_entries"`
+	Sessions      int    `json:"sessions"`
 }
 
 // Error is the JSON error envelope for non-2xx responses.

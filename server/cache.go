@@ -29,7 +29,22 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns a copy of the cached result with Cached set, or nil.
+// cloneResult deep-copies a result. A shallow struct copy is not enough:
+// Cover, X and the Congest pointer would still alias the original, so a
+// caller mutating a returned result (or the result it handed to put) would
+// corrupt the cached entry for every future hit.
+func cloneResult(res *api.SolveResult) *api.SolveResult {
+	cp := *res
+	cp.Cover = append([]int(nil), res.Cover...)
+	cp.X = append([]int64(nil), res.X...)
+	if res.Congest != nil {
+		congest := *res.Congest
+		cp.Congest = &congest
+	}
+	return &cp
+}
+
+// get returns a deep copy of the cached result with Cached set, or nil.
 func (c *resultCache) get(key string) *api.SolveResult {
 	if c.capacity <= 0 {
 		return nil
@@ -41,27 +56,28 @@ func (c *resultCache) get(key string) *api.SolveResult {
 		return nil
 	}
 	c.order.MoveToFront(el)
-	res := *el.Value.(*cacheEntry).result
+	res := cloneResult(el.Value.(*cacheEntry).result)
 	res.Cached = true
 	res.ElapsedMS = 0
-	return &res
+	return res
 }
 
 // put stores a result, evicting the least recently used entry when full.
-// The stored value is copied so later mutations by the caller are invisible.
+// The stored value is deep-copied so later mutations by the caller are
+// invisible.
 func (c *resultCache) put(key string, res *api.SolveResult) {
 	if c.capacity <= 0 || res == nil {
 		return
 	}
-	stored := *res
+	stored := cloneResult(res)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).result = &stored
+		el.Value.(*cacheEntry).result = stored
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: &stored})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: stored})
 	for c.order.Len() > c.capacity {
 		last := c.order.Back()
 		c.order.Remove(last)

@@ -50,6 +50,58 @@ func TestCacheCopiesResults(t *testing.T) {
 	}
 }
 
+// TestCacheDeepCopiesNestedState is the regression test for the aliasing
+// bug where get/put copied only the top-level struct: the cached entry
+// shared Cover, X and the Congest pointer with every copy handed out, so a
+// caller mutating a returned result corrupted the cache for all future
+// hits. Run under -race this also proves hits share no mutable state.
+func TestCacheDeepCopiesNestedState(t *testing.T) {
+	c := newResultCache(4)
+	orig := &api.SolveResult{
+		Cover:   []int{1, 2, 3},
+		X:       []int64{0, 1, 0},
+		Weight:  9,
+		Congest: &api.CongestInfo{Rounds: 7, Messages: 40},
+	}
+	c.put("k", orig)
+	// Mutating what was handed to put must not reach the cache.
+	orig.Cover[0] = 99
+	orig.X[2] = 99
+	orig.Congest.Rounds = 99
+
+	got := c.get("k")
+	if got.Cover[0] != 1 || got.X[2] != 0 || got.Congest.Rounds != 7 {
+		t.Fatalf("put did not deep-copy: %+v congest=%+v", got, got.Congest)
+	}
+	// Mutating a returned hit must not reach the cache either.
+	got.Cover[0] = -1
+	got.X[0] = -1
+	got.Congest.Messages = -1
+	again := c.get("k")
+	if again.Cover[0] != 1 || again.X[0] != 0 || again.Congest.Messages != 40 {
+		t.Fatalf("get did not deep-copy: %+v congest=%+v", again, again.Congest)
+	}
+	if again.Congest == got.Congest {
+		t.Fatal("hits share the Congest pointer")
+	}
+	// Concurrent hits each mutating their own copy: -race flags any sharing.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := c.get("k")
+			r.Cover[0] = i
+			r.X[0] = int64(i)
+			r.Congest.Rounds = i
+		}(i)
+	}
+	wg.Wait()
+	if final := c.get("k"); final.Cover[0] != 1 || final.Congest.Rounds != 7 {
+		t.Fatalf("concurrent mutations leaked into the cache: %+v", final)
+	}
+}
+
 func TestCacheUpdateExisting(t *testing.T) {
 	c := newResultCache(2)
 	c.put("k", &api.SolveResult{Weight: 1})

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
+	"distcover"
 	"distcover/server/api"
 )
 
@@ -13,6 +15,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -157,6 +163,112 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.BatchResponse{Results: items})
 }
 
+// handleSessionCreate opens an incremental session: the initial solve runs
+// through the job queue and worker pool like any other solve (a full queue
+// yields 429), then the session is registered for updates.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req api.SessionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Instance) == 0 {
+		writeError(w, http.StatusBadRequest, "request must set instance")
+		return
+	}
+	inst, err := distcover.ReadInstance(bytes.NewReader(req.Instance))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := sessionLibOptions(req.Options); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := newSessionCreateJob(inst, req.Options)
+	if err := s.queue.tryEnqueue(j); err != nil {
+		s.rejectFull(w)
+		return
+	}
+	s.metrics.recordSubmit()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return
+	}
+	st := j.snapshot()
+	if st.Error != "" {
+		writeError(w, http.StatusUnprocessableEntity, "session solve failed: %s", st.Error)
+		return
+	}
+	entry := s.sessions.add(j.newSess, req.Options)
+	s.metrics.recordSessionCreate()
+	info := entry.info()
+	info.Result.ElapsedMS = st.Result.ElapsedMS
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.info())
+}
+
+// handleSessionUpdate applies one delta batch through the worker pool. The
+// residual re-solve touches only the uncovered new edges, so updates are
+// cheap; concurrent updates to one session serialize inside the session.
+func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var d api.SessionDelta
+	if !s.decode(w, r, &d) {
+		return
+	}
+	j := newSessionUpdateJob(entry, distcover.Delta{Weights: d.Weights, Edges: d.Edges})
+	if err := s.queue.tryEnqueue(j); err != nil {
+		s.rejectFull(w)
+		return
+	}
+	s.metrics.recordSubmit()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return
+	}
+	st := j.snapshot()
+	if st.Error != "" {
+		writeError(w, http.StatusUnprocessableEntity, "session update failed: %s", st.Error)
+		return
+	}
+	s.metrics.recordSessionUpdate()
+	writeJSON(w, http.StatusOK, &api.SessionUpdateResult{
+		NewVertices:      j.upd.NewVertices,
+		NewEdges:         j.upd.NewEdges,
+		CoveredOnArrival: j.upd.CoveredOnArrival,
+		ResidualEdges:    j.upd.ResidualEdges,
+		ResidualVertices: j.upd.ResidualVertices,
+		Joined:           j.upd.Joined,
+		AddedWeight:      j.upd.AddedWeight,
+		Iterations:       j.upd.Iterations,
+		Rounds:           j.upd.Rounds,
+		ElapsedMS:        st.Result.ElapsedMS,
+		Session:          entry.info(),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.jobs.get(id)
@@ -174,6 +286,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:    s.queue.depth(),
 		QueueCapacity: s.queue.capacity(),
 		CacheEntries:  s.cache.len(),
+		Sessions:      s.sessions.len(),
 	})
 }
 
@@ -184,6 +297,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"coverd_queue_capacity", "Configured queue bound.", float64(s.queue.capacity())},
 		{"coverd_workers", "Configured worker pool size.", float64(s.cfg.Workers)},
 		{"coverd_cache_entries", "Entries in the instance-result cache.", float64(s.cache.len())},
+		{"coverd_sessions", "Live incremental sessions.", float64(s.sessions.len())},
 	})
 }
 

@@ -9,16 +9,37 @@ import (
 	"distcover/server/api"
 )
 
+// jobKind selects what a queued job does when a worker picks it up.
+type jobKind int
+
+const (
+	// jobSolve is the ordinary one-shot solve (instance or ILP).
+	jobSolve jobKind = iota
+	// jobSessionCreate solves an instance and materializes a Session.
+	jobSessionCreate
+	// jobSessionUpdate applies a delta batch to an existing session.
+	jobSessionUpdate
+)
+
 // job is one unit of work flowing through the queue to the worker pool.
-// Exactly one of inst and ilp is non-nil. done is closed when result/err
-// are final; status transitions queued → running → done|failed.
+// For jobSolve exactly one of inst and ilp is non-nil; session jobs use the
+// sess/delta fields instead. done is closed when result/err are final;
+// status transitions queued → running → done|failed.
 type job struct {
 	id       string
+	kind     jobKind
 	inst     *distcover.Instance
 	ilp      *distcover.ILP
 	opts     api.SolveOptions
 	hash     string // canonical content hash of the problem
 	cacheKey string // hash + option fingerprint; "" when not cacheable
+
+	// Session jobs. newSess and upd are written by the worker before the
+	// job completes (the done-channel close publishes them to the waiter).
+	sessEntry *sessionEntry
+	delta     distcover.Delta
+	newSess   *distcover.Session
+	upd       *distcover.UpdateStats
 
 	mu     sync.Mutex
 	status string
@@ -37,6 +58,31 @@ func newJob(inst *distcover.Instance, ilp *distcover.ILP, opts api.SolveOptions,
 		cacheKey: cacheKey,
 		status:   api.JobQueued,
 		done:     make(chan struct{}),
+	}
+}
+
+// newSessionCreateJob queues the initial solve of a session.
+func newSessionCreateJob(inst *distcover.Instance, opts api.SolveOptions) *job {
+	return &job{
+		id:     newJobID(),
+		kind:   jobSessionCreate,
+		inst:   inst,
+		opts:   opts,
+		status: api.JobQueued,
+		done:   make(chan struct{}),
+	}
+}
+
+// newSessionUpdateJob queues one delta batch against a session.
+func newSessionUpdateJob(entry *sessionEntry, delta distcover.Delta) *job {
+	return &job{
+		id:        newJobID(),
+		kind:      jobSessionUpdate,
+		sessEntry: entry,
+		opts:      entry.opts,
+		delta:     delta,
+		status:    api.JobQueued,
+		done:      make(chan struct{}),
 	}
 }
 

@@ -20,17 +20,19 @@ var latencyBuckets = []float64{
 // use; gauges (queue depth, cache size) are sampled at scrape time by the
 // server, not stored here.
 type Metrics struct {
-	mu            sync.Mutex
-	solvesOK      int64
-	solvesErr     int64
-	cacheHits     int64
-	cacheMisses   int64
-	backpressured int64 // submits rejected with 429
-	jobsSubmitted int64
-	batchRequests int64
-	bucketCounts  []int64 // parallel to latencyBuckets, non-cumulative
-	latencySum    float64 // seconds
-	latencyCount  int64
+	mu              sync.Mutex
+	solvesOK        int64
+	solvesErr       int64
+	cacheHits       int64
+	cacheMisses     int64
+	backpressured   int64 // submits rejected with 429
+	jobsSubmitted   int64
+	batchRequests   int64
+	sessionsCreated int64
+	sessionUpdates  int64
+	bucketCounts    []int64 // parallel to latencyBuckets, non-cumulative
+	latencySum      float64 // seconds
+	latencyCount    int64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -84,18 +86,32 @@ func (m *Metrics) recordBatch() {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) recordSessionCreate() {
+	m.mu.Lock()
+	m.sessionsCreated++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordSessionUpdate() {
+	m.mu.Lock()
+	m.sessionUpdates++
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of the counters, used by tests and by
 // operators who prefer JSON over the Prometheus endpoint.
 type Snapshot struct {
-	SolvesOK      int64   `json:"solves_ok"`
-	SolvesErr     int64   `json:"solves_err"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	Backpressured int64   `json:"backpressured"`
-	JobsSubmitted int64   `json:"jobs_submitted"`
-	BatchRequests int64   `json:"batch_requests"`
-	LatencySum    float64 `json:"latency_sum_seconds"`
-	LatencyCount  int64   `json:"latency_count"`
+	SolvesOK        int64   `json:"solves_ok"`
+	SolvesErr       int64   `json:"solves_err"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	Backpressured   int64   `json:"backpressured"`
+	JobsSubmitted   int64   `json:"jobs_submitted"`
+	BatchRequests   int64   `json:"batch_requests"`
+	SessionsCreated int64   `json:"sessions_created"`
+	SessionUpdates  int64   `json:"session_updates"`
+	LatencySum      float64 `json:"latency_sum_seconds"`
+	LatencyCount    int64   `json:"latency_count"`
 
 	buckets []int64 // non-cumulative histogram counts, parallel to latencyBuckets
 }
@@ -105,16 +121,18 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Snapshot{
-		buckets:       append([]int64(nil), m.bucketCounts...),
-		SolvesOK:      m.solvesOK,
-		SolvesErr:     m.solvesErr,
-		CacheHits:     m.cacheHits,
-		CacheMisses:   m.cacheMisses,
-		Backpressured: m.backpressured,
-		JobsSubmitted: m.jobsSubmitted,
-		BatchRequests: m.batchRequests,
-		LatencySum:    m.latencySum,
-		LatencyCount:  m.latencyCount,
+		buckets:         append([]int64(nil), m.bucketCounts...),
+		SolvesOK:        m.solvesOK,
+		SolvesErr:       m.solvesErr,
+		CacheHits:       m.cacheHits,
+		CacheMisses:     m.cacheMisses,
+		Backpressured:   m.backpressured,
+		JobsSubmitted:   m.jobsSubmitted,
+		BatchRequests:   m.batchRequests,
+		SessionsCreated: m.sessionsCreated,
+		SessionUpdates:  m.sessionUpdates,
+		LatencySum:      m.latencySum,
+		LatencyCount:    m.latencyCount,
 	}
 }
 
@@ -140,6 +158,8 @@ func (m *Metrics) writePrometheus(w io.Writer, gauges []gauge) {
 	counter("coverd_backpressure_total", "Submits rejected with 429 because the job queue was full.", s.Backpressured)
 	counter("coverd_jobs_submitted_total", "Jobs accepted into the queue.", s.JobsSubmitted)
 	counter("coverd_batch_requests_total", "Batch solve requests received.", s.BatchRequests)
+	counter("coverd_sessions_created_total", "Incremental sessions opened.", s.SessionsCreated)
+	counter("coverd_session_updates_total", "Session delta batches applied.", s.SessionUpdates)
 
 	fmt.Fprintf(w, "# HELP coverd_solve_seconds Solver wall time of successful solves.\n# TYPE coverd_solve_seconds histogram\n")
 	cumulative := int64(0)

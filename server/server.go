@@ -12,11 +12,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve        solve one instance (sync, or async with "async":true)
-//	POST /v1/solve/batch  solve many instances through the same pool
-//	GET  /v1/jobs/{id}    status/result of an async job
-//	GET  /healthz         liveness + queue/cache stats
-//	GET  /metrics         Prometheus text format
+//	POST   /v1/solve                solve one instance (sync, or async with "async":true)
+//	POST   /v1/solve/batch          solve many instances through the same pool
+//	GET    /v1/jobs/{id}            status/result of an async job
+//	POST   /v1/sessions             open an incremental session (initial solve)
+//	POST   /v1/sessions/{id}/update apply a delta batch (residual re-solve)
+//	GET    /v1/sessions/{id}        current session state
+//	DELETE /v1/sessions/{id}        close and forget a session
+//	GET    /healthz                 liveness + queue/cache/session stats
+//	GET    /metrics                 Prometheus text format
 //
 // See distcover/server/api for the wire types and distcover/client for the
 // Go client.
@@ -53,6 +57,11 @@ type Config struct {
 	// JobCapacity bounds how many async jobs are retained for polling
 	// (default 4096).
 	JobCapacity int
+	// SessionCapacity bounds how many incremental sessions are kept live;
+	// beyond it the least recently used session is evicted and closed
+	// (default 128). Sessions pin whole instances in memory, so the bound
+	// is much tighter than the job registry's.
+	SessionCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,30 +86,35 @@ func (c Config) withDefaults() Config {
 	if c.JobCapacity <= 0 {
 		c.JobCapacity = 4096
 	}
+	if c.SessionCapacity <= 0 {
+		c.SessionCapacity = 128
+	}
 	return c
 }
 
 // Server is the coverd service. Create with New, expose via Handler, and
 // stop with Close.
 type Server struct {
-	cfg     Config
-	queue   *jobQueue
-	pool    *workerPool
-	cache   *resultCache
-	metrics *Metrics
-	jobs    *jobRegistry
-	mux     *http.ServeMux
+	cfg      Config
+	queue    *jobQueue
+	pool     *workerPool
+	cache    *resultCache
+	metrics  *Metrics
+	jobs     *jobRegistry
+	sessions *sessionRegistry
+	mux      *http.ServeMux
 }
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		queue:   newJobQueue(cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheSize),
-		metrics: NewMetrics(),
-		jobs:    newJobRegistry(cfg.JobCapacity),
+		cfg:      cfg,
+		queue:    newJobQueue(cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheSize),
+		metrics:  NewMetrics(),
+		jobs:     newJobRegistry(cfg.JobCapacity),
+		sessions: newSessionRegistry(cfg.SessionCapacity),
 	}
 	s.pool = newWorkerPool(cfg.Workers, s.queue, s.cache, s.metrics)
 	s.pool.start()

@@ -142,7 +142,10 @@ func TestEndToEndBatch(t *testing.T) {
 	// The congest engine keeps each solve slow enough that the requests
 	// genuinely overlap.
 	busySrv, busyClient := newTestServer(t, server.Config{Workers: 1, QueueDepth: 2})
-	heavy := genInstance(t, 400, 1600, 3, 99)
+	// Sized so one congest solve takes tens of milliseconds even after
+	// engine speedups — the flood must genuinely overlap 1 running + 2
+	// queued requests before the 20 clients stop arriving.
+	heavy := genInstance(t, 4000, 16000, 3, 99)
 	heavyRaw, err := client.EncodeInstance(heavy)
 	if err != nil {
 		t.Fatal(err)

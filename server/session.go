@@ -1,0 +1,130 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"distcover"
+	"distcover/server/api"
+)
+
+// sessionEntry is one live incremental session held by the server.
+type sessionEntry struct {
+	id   string
+	sess *distcover.Session
+	opts api.SolveOptions
+}
+
+// info snapshots the externally visible session state. One State() call
+// keeps the snapshot consistent under concurrent updates: the reported
+// cover always covers the instance named by InstanceHash.
+func (e *sessionEntry) info() *api.SessionInfo {
+	st := e.sess.State()
+	sol := st.Solution
+	res := &api.SolveResult{
+		Cover:          sol.Cover,
+		Weight:         sol.Weight,
+		DualLowerBound: sol.DualLowerBound,
+		RatioBound:     sol.RatioBound,
+		Epsilon:        sol.Epsilon,
+		Iterations:     sol.Iterations,
+		Rounds:         sol.Rounds,
+		InstanceHash:   st.Hash,
+	}
+	if cs := st.Congest; cs != nil {
+		res.Congest = &api.CongestInfo{
+			Rounds:         cs.Rounds,
+			Messages:       cs.Messages,
+			TotalBits:      cs.TotalBits,
+			MaxMessageBits: cs.MaxMessageBits,
+			WireBytes:      cs.WireBytes,
+		}
+	}
+	return &api.SessionInfo{
+		ID:             e.id,
+		InstanceHash:   st.Hash,
+		Vertices:       st.Stats.Vertices,
+		Edges:          st.Stats.Edges,
+		Rank:           st.Stats.Rank,
+		Updates:        st.Updates,
+		CertifiedBound: st.CertifiedBound,
+		Result:         res,
+	}
+}
+
+// sessionRegistry tracks live sessions by id, bounded like the job
+// registry: beyond capacity the least recently used session is evicted and
+// closed, so a server under sustained session churn cannot grow without
+// limit (sessions pin whole instances in memory, unlike finished jobs).
+type sessionRegistry struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *sessionEntry
+	byID     map[string]*list.Element
+}
+
+func newSessionRegistry(capacity int) *sessionRegistry {
+	return &sessionRegistry{
+		capacity: capacity,
+		order:    list.New(),
+		byID:     make(map[string]*list.Element),
+	}
+}
+
+// add registers a session under a fresh id, evicting LRU entries beyond
+// capacity. Evicted sessions are closed only after the registry lock is
+// released: Close waits for an in-flight Update, and holding r.mu through
+// a residual solve would stall every endpoint that touches the registry.
+func (r *sessionRegistry) add(sess *distcover.Session, opts api.SolveOptions) *sessionEntry {
+	e := &sessionEntry{id: newJobID(), sess: sess, opts: opts}
+	var evicted []*sessionEntry
+	r.mu.Lock()
+	r.byID[e.id] = r.order.PushFront(e)
+	for r.order.Len() > r.capacity {
+		last := r.order.Back()
+		r.order.Remove(last)
+		old := last.Value.(*sessionEntry)
+		delete(r.byID, old.id)
+		evicted = append(evicted, old)
+	}
+	r.mu.Unlock()
+	for _, old := range evicted {
+		old.sess.Close()
+	}
+	return e
+}
+
+// get returns the session and marks it most recently used.
+func (r *sessionRegistry) get(id string) (*sessionEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	r.order.MoveToFront(el)
+	return el.Value.(*sessionEntry), true
+}
+
+// remove closes and forgets a session (Close outside the lock, as in add).
+func (r *sessionRegistry) remove(id string) bool {
+	r.mu.Lock()
+	el, ok := r.byID[id]
+	if ok {
+		r.order.Remove(el)
+		delete(r.byID, id)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	el.Value.(*sessionEntry).sess.Close()
+	return true
+}
+
+// len returns the number of live sessions.
+func (r *sessionRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}

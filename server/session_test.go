@@ -1,0 +1,199 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distcover"
+	"distcover/client"
+	"distcover/server"
+	"distcover/server/api"
+)
+
+// TestSessionEndToEnd drives the full session lifecycle over HTTP: create,
+// stream delta batches, poll state, delete — checking the certificate and
+// the incremental hash on every step.
+func TestSessionEndToEnd(t *testing.T) {
+	srv, c := newTestServer(t, server.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	inst := genInstance(t, 200, 500, 3, 7)
+	info, err := c.CreateSession(ctx, inst, api.SolveOptions{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Result == nil || info.Vertices != 200 || info.Edges != 500 {
+		t.Fatalf("bad session info: %+v", info)
+	}
+	if info.InstanceHash != inst.Hash() {
+		t.Fatal("session hash != instance hash")
+	}
+	if info.Result.RatioBound > info.CertifiedBound*(1+1e-9) {
+		t.Fatalf("ratio %g exceeds certificate %g", info.Result.RatioBound, info.CertifiedBound)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	cur := inst
+	n := 200
+	for batch := 0; batch < 5; batch++ {
+		var d api.SessionDelta
+		for i := 0; i < rng.Intn(3); i++ {
+			d.Weights = append(d.Weights, 1+rng.Int63n(50))
+		}
+		total := n + len(d.Weights)
+		for i := 0; i < 20; i++ {
+			d.Edges = append(d.Edges, []int{rng.Intn(total), rng.Intn(total), rng.Intn(total)})
+		}
+		n = total
+		upd, err := c.UpdateSession(ctx, info.ID, d)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if upd.CoveredOnArrival+upd.ResidualEdges != upd.NewEdges {
+			t.Fatalf("batch %d: edge accounting off: %+v", batch, upd)
+		}
+		cur, err = cur.Extend(distcover.Delta{Weights: d.Weights, Edges: d.Edges})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upd.Session.InstanceHash != cur.Hash() {
+			t.Fatalf("batch %d: incremental hash drifted", batch)
+		}
+		if !cur.IsCover(upd.Session.Result.Cover) {
+			t.Fatalf("batch %d: invalid cover", batch)
+		}
+		if upd.Session.Result.RatioBound > upd.Session.CertifiedBound*(1+1e-9) {
+			t.Fatalf("batch %d: certificate broken: %+v", batch, upd.Session)
+		}
+	}
+
+	got, err := c.Session(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Updates != 5 {
+		t.Fatalf("updates = %d, want 5", got.Updates)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 1 {
+		t.Fatalf("health sessions = %d", h.Sessions)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.SessionsCreated != 1 || snap.SessionUpdates != 5 {
+		t.Fatalf("metrics: %+v", snap)
+	}
+
+	if err := c.CloseSession(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session(ctx, info.ID); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("deleted session still reachable: %v", err)
+	}
+	if err := c.CloseSession(ctx, info.ID); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// TestSessionErrorsAndEviction covers rejection paths and the bounded
+// registry: bad instances, bad deltas, unknown ids, unknown engines, and
+// LRU eviction (evicted sessions are closed, updates to them fail cleanly).
+func TestSessionErrorsAndEviction(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 2, SessionCapacity: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	inst := genInstance(t, 20, 40, 2, 1)
+
+	if _, err := c.CreateSession(ctx, inst, api.SolveOptions{Engine: "warp-drive"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unknown engine: %v", err)
+	}
+	if _, err := c.UpdateSession(ctx, "nope", api.SessionDelta{}); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("unknown session update: %v", err)
+	}
+
+	a, err := c.CreateSession(ctx, inst, api.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UpdateSession(ctx, a.ID, api.SessionDelta{Edges: [][]int{{0, 999}}}); err == nil {
+		t.Fatal("out-of-range delta accepted")
+	}
+	if _, err := c.UpdateSession(ctx, a.ID, api.SessionDelta{Weights: []int64{-1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// A failed update must leave the session usable.
+	if _, err := c.UpdateSession(ctx, a.ID, api.SessionDelta{Edges: [][]int{{0, 1}}}); err != nil {
+		t.Fatalf("session poisoned by rejected delta: %v", err)
+	}
+
+	// Capacity 2: creating two more evicts the least recently used (a).
+	if _, err = c.CreateSession(ctx, inst, api.SolveOptions{Epsilon: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = c.CreateSession(ctx, inst, api.SolveOptions{Epsilon: 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session(ctx, a.ID); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("evicted session still reachable: %v", err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 2 {
+		t.Fatalf("sessions = %d, want 2", h.Sessions)
+	}
+}
+
+// TestSessionConcurrentClients hammers one session from many goroutines
+// while others read it; run under -race in CI.
+func TestSessionConcurrentClients(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	inst := genInstance(t, 50, 100, 3, 5)
+	info, err := c.CreateSession(ctx, inst, api.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				d := api.SessionDelta{Edges: [][]int{{(w*8 + i) % 50, (w*8 + i + 7) % 50}}}
+				if _, err := c.UpdateSession(ctx, info.ID, d); err != nil && !errors.Is(err, client.ErrBusy) {
+					errs <- err
+					return
+				}
+				if _, err := c.Session(ctx, info.ID); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	final, err := c.Session(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Result.RatioBound > final.CertifiedBound*(1+1e-9) {
+		t.Fatalf("certificate broken after concurrent updates: %+v", final)
+	}
+}

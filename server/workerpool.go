@@ -66,8 +66,56 @@ func (p *workerPool) close() {
 	}
 }
 
-// run executes one job: cache lookup, solve, cache fill, metrics.
+// run dispatches one job to its kind-specific execution.
 func (p *workerPool) run(j *job) {
+	switch j.kind {
+	case jobSessionCreate:
+		p.runSessionCreate(j)
+	case jobSessionUpdate:
+		p.runSessionUpdate(j)
+	default:
+		p.runSolve(j)
+	}
+}
+
+// runSessionCreate performs a session's initial solve.
+func (p *workerPool) runSessionCreate(j *job) {
+	j.setRunning()
+	opts, err := sessionLibOptions(j.opts)
+	if err != nil {
+		j.complete(nil, err)
+		return
+	}
+	start := time.Now()
+	sess, err := distcover.NewSession(j.inst, opts...)
+	elapsed := time.Since(start)
+	p.metrics.recordSolve(elapsed.Seconds(), err)
+	if err != nil {
+		j.complete(nil, err)
+		return
+	}
+	j.newSess = sess
+	j.complete(&api.SolveResult{ElapsedMS: float64(elapsed.Microseconds()) / 1000}, nil)
+}
+
+// runSessionUpdate applies one delta batch; concurrent updates to the same
+// session serialize inside Session.Update.
+func (p *workerPool) runSessionUpdate(j *job) {
+	j.setRunning()
+	start := time.Now()
+	st, err := j.sessEntry.sess.Update(j.delta)
+	elapsed := time.Since(start)
+	p.metrics.recordSolve(elapsed.Seconds(), err)
+	if err != nil {
+		j.complete(nil, err)
+		return
+	}
+	j.upd = st
+	j.complete(&api.SolveResult{ElapsedMS: float64(elapsed.Microseconds()) / 1000}, nil)
+}
+
+// runSolve executes one solve job: cache lookup, solve, cache fill, metrics.
+func (p *workerPool) runSolve(j *job) {
 	j.setRunning()
 	// A second lookup here (the handler already checked at submit time)
 	// catches duplicates that were queued behind the first computation of
@@ -95,9 +143,9 @@ func (p *workerPool) run(j *job) {
 	j.complete(res, nil)
 }
 
-// solve maps api.SolveOptions onto the library's functional options and
-// dispatches to the right execution path.
-func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*api.SolveResult, error) {
+// baseLibOptions maps the engine-independent api.SolveOptions onto the
+// library's functional options.
+func baseLibOptions(o api.SolveOptions) []distcover.Option {
 	var opts []distcover.Option
 	if o.FApprox {
 		opts = append(opts, distcover.WithFApproximation())
@@ -116,6 +164,34 @@ func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*a
 	if o.MaxIterations != 0 {
 		opts = append(opts, distcover.WithMaxIterations(o.MaxIterations))
 	}
+	return opts
+}
+
+// sessionLibOptions additionally maps the engine choice for sessions, where
+// an explicit engine option switches NewSession from the lockstep simulator
+// to the message protocol on that engine.
+func sessionLibOptions(o api.SolveOptions) ([]distcover.Option, error) {
+	opts := baseLibOptions(o)
+	switch o.Engine {
+	case "", api.EngineSim:
+	case api.EngineCongest:
+		opts = append(opts, distcover.WithSequentialEngine())
+	case api.EngineCongestParallel:
+		opts = append(opts, distcover.WithParallelEngine())
+	case api.EngineCongestSharded:
+		opts = append(opts, distcover.WithShardedEngine(), distcover.WithShardCount(o.Shards))
+	case api.EngineCongestTCP:
+		opts = append(opts, distcover.WithTCPEngine())
+	default:
+		return nil, fmt.Errorf("coverd: unknown engine %q", o.Engine)
+	}
+	return opts, nil
+}
+
+// solve maps api.SolveOptions onto the library's functional options and
+// dispatches to the right execution path.
+func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*api.SolveResult, error) {
+	opts := baseLibOptions(o)
 
 	if ilp != nil {
 		sol, err := distcover.SolveILP(ilp, opts...)

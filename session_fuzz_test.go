@@ -1,0 +1,100 @@
+package distcover
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// deltaEqual compares deltas up to the nil-vs-empty slice distinction JSON
+// cannot represent (omitempty drops empty slices, so they re-decode as nil).
+func deltaEqual(a, b Delta) bool {
+	if len(a.Weights) != len(b.Weights) || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if len(a.Edges[i]) != len(b.Edges[i]) {
+			return false
+		}
+		for j := range a.Edges[i] {
+			if a.Edges[i][j] != b.Edges[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzSessionDelta throws arbitrary bytes at the delta codec and the
+// session update path: any bytes that decode as a Delta must round-trip
+// through the JSON codec, must never panic Session.Update, and — when the
+// update is accepted — must leave the incrementally maintained instance
+// hash identical to a from-scratch canonicalization of the same instance.
+func FuzzSessionDelta(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"weights":[3],"edges":[[0,4]]}`))
+	f.Add([]byte(`{"edges":[[0,1],[2,3,4]]}`))
+	f.Add([]byte(`{"weights":[1,2,3]}`))
+	f.Add([]byte(`{"edges":[[]]}`))
+	f.Add([]byte(`{"weights":[-1],"edges":[[9999]]}`))
+	f.Add([]byte(`{"weights":[10],"edges":[[5,5,5],[0]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Delta
+		if err := json.Unmarshal(data, &d); err != nil {
+			return
+		}
+		if len(d.Weights) > 1000 || len(d.Edges) > 1000 {
+			return // keep per-exec cost bounded
+		}
+		// Codec round trip: encode → decode → identical delta.
+		enc, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal decoded delta: %v", err)
+		}
+		var d2 Delta
+		if err := json.Unmarshal(enc, &d2); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !deltaEqual(d, d2) {
+			t.Fatalf("delta round trip diverges: %#v vs %#v", d, d2)
+		}
+
+		baseW := []int64{5, 2, 7, 3, 4}
+		baseE := [][]int{{0, 1}, {1, 2, 3}, {3, 4}}
+		inst, err := NewInstance(baseW, baseE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Update(d); err != nil {
+			return // invalid deltas must be rejected, never applied halfway
+		}
+		// Hash must equal a from-scratch build of the extended instance.
+		full, err := inst.Extend(d)
+		if err != nil {
+			t.Fatalf("Update accepted what Extend rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := full.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Hash() != rebuilt.Hash() {
+			t.Fatalf("incremental hash %s != re-canonicalized hash %s", s.Hash(), rebuilt.Hash())
+		}
+		if !s.Instance().IsCover(s.Solution().Cover) {
+			t.Fatal("session cover invalid after fuzz delta")
+		}
+	})
+}
