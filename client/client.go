@@ -5,6 +5,13 @@
 //
 //	c := client.New("http://localhost:8080")
 //	res, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5})
+//
+// Engine selection rides in the options: api.EngineFlat picks the
+// chunk-parallel flat solver (the low-latency production path,
+// bit-identical to the default simulator), the api.EngineCongest* names
+// run the real message protocol and report communication metrics.
+//
+//	res, err := c.Solve(ctx, inst, api.SolveOptions{Engine: api.EngineFlat})
 package client
 
 import (

@@ -1,27 +1,36 @@
 // Command benchharness regenerates the paper's evaluation artifacts: the
 // measured versions of Table 1 and Table 2 and the theorem-shape
-// experiments E1–E10 (run with -list for the index).
+// experiments E1–E13 (run with -list for the index).
 //
 // Usage:
 //
-//	benchharness [-exp all|T1|T2|E1..E11] [-quick] [-seed N] [-list]
+//	benchharness [-exp all|T1|T2|E1..E13] [-quick] [-seed N] [-list]
 //	             [-json file] [-baseline file] [-writebaseline file]
-//	             [-tol frac] [-portable]
+//	             [-tol frac] [-portable] [-suite names]
+//	             [-cpuprofile file] [-memprofile file]
 //
 // Full sweeps take a few minutes; -quick shrinks them to seconds. With
 // -json the results are additionally written to the given file as
 // machine-readable JSON (e.g. BENCH_results.json), so successive runs can
 // be diffed to track the performance trajectory across changes.
 //
-// -baseline re-measures the engine-throughput suite (E11) and compares the
-// readings against the committed baseline file, exiting non-zero when any
-// regresses beyond -tol (default: the baseline's own tolerance).
-// -portable restricts the comparison to machine-independent readings
-// (rounds, message counts, speedup ratios), skipping raw wall-clock ns —
-// this is what CI's bench job runs, because its runners are not the
-// machine the committed baseline was recorded on. -writebaseline measures
-// and merges the readings into the given file, so one full run and one
-// -quick run accumulate both modes into BENCH_baseline.json.
+// -baseline re-measures the selected measurement suites (engine
+// throughput, flat-runner throughput, incremental sessions, allocation
+// counts — see -suite) and compares the readings against the committed
+// baseline file, exiting non-zero when any regresses beyond -tol
+// (default: the baseline's own tolerance). -portable restricts the
+// comparison to machine-independent readings (rounds, message counts,
+// iteration counts, speedup ratios, exact allocation counts), skipping
+// raw wall-clock ns — this is what CI's bench job runs, because its
+// runners are not the machine the committed baseline was recorded on.
+// -writebaseline measures and merges the readings into the given file, so
+// one full run and one -quick run accumulate both modes into
+// BENCH_baseline.json.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the measured
+// work (the heap profile is taken after the run), so a CI bench job can
+// archive profiles alongside the readings and a regression can be
+// diagnosed from the artifacts without re-running locally.
 package main
 
 import (
@@ -29,11 +38,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"distcover/internal/bench"
 	"distcover/internal/bench/sessions"
 )
+
+// startProfiles begins CPU profiling and arranges the heap snapshot; the
+// returned stop function finalizes both and is safe to call when neither
+// profile was requested. Profile-write failures are reported on stderr
+// rather than failing the run — the readings are the product, the
+// profiles are diagnostics.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchharness: -cpuprofile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchharness: wrote %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchharness: -memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchharness: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchharness: -memprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "benchharness: wrote %s\n", memPath)
+		}
+	}, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -44,16 +100,18 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E11)")
-		quick     = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
-		seed      = flag.Int64("seed", 42, "workload generation seed")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		jsonPath  = flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_results.json)")
-		baseline  = flag.String("baseline", "", "compare engine-throughput readings against this baseline file; exit 1 on regression")
-		writeBase = flag.String("writebaseline", "", "measure engine throughput and merge the readings into this baseline file")
-		tol       = flag.Float64("tol", 0, "regression tolerance as a fraction; >0 overrides the baseline's default and per-entry tolerances (0 = use them)")
-		portable  = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, speedup ratios, alloc counts), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
-		suites    = flag.String("suite", "engines,sessions,allocs", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, sessions = E12 incremental, allocs = hot-path allocation counts)")
+		exp        = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E13)")
+		quick      = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
+		seed       = flag.Int64("seed", 42, "workload generation seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonPath   = flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_results.json)")
+		baseline   = flag.String("baseline", "", "compare engine-throughput readings against this baseline file; exit 1 on regression")
+		writeBase  = flag.String("writebaseline", "", "measure engine throughput and merge the readings into this baseline file")
+		tol        = flag.Float64("tol", 0, "regression tolerance as a fraction; >0 overrides the baseline's default and per-entry tolerances (0 = use them)")
+		portable   = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, iteration counts, speedup ratios, alloc counts), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
+		suites     = flag.String("suite", "engines,flat,sessions,allocs", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, allocs = hot-path allocation counts)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured work to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 	if *list {
@@ -63,6 +121,11 @@ func run() error {
 		fmt.Printf("%-3s %s\n", "E12", "Incremental sessions: residual re-solve vs from-scratch (lives outside the bench registry; see -suite)")
 		return nil
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	if *baseline != "" || *writeBase != "" {
 		// Baseline mode runs the measurement suites only; -exp does not
@@ -70,7 +133,6 @@ func run() error {
 		return runBaseline(cfg, *baseline, *writeBase, *jsonPath, *tol, *portable, *suites)
 	}
 	var tables []bench.Table
-	var err error
 	// E12 imports the public session API and therefore lives outside the
 	// bench registry (import cycle with the root package's tests).
 	switch {
@@ -111,6 +173,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 	}
 	known := map[string]func(bench.Config) ([]bench.Measurement, []bench.Table, error){
 		"engines":  bench.MeasureEngines,
+		"flat":     bench.MeasureFlat,
 		"sessions": sessions.MeasureIncremental,
 		"allocs":   sessions.MeasureAllocs,
 	}
@@ -122,7 +185,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 		}
 		run, ok := known[name]
 		if !ok {
-			return fmt.Errorf("-suite: unknown suite %q (have engines, sessions, allocs)", name)
+			return fmt.Errorf("-suite: unknown suite %q (have engines, flat, sessions, allocs)", name)
 		}
 		selected = append(selected, suite{name: name, run: run})
 	}

@@ -7,18 +7,21 @@
 // Usage:
 //
 //	covercli [-in file] [-eps ε] [-f-approx] [-single-level] [-local-alpha]
-//	         [-alpha α] [-exact] [-congest] [-parallel] [-sharded [-shards P]]
+//	         [-alpha α] [-exact] [-flat [-par P]]
+//	         [-congest] [-parallel] [-sharded [-shards P]]
 //	         [-tcp] [-json] [-trace] [-compare] [-exact-opt]
 //	covercli -gen kind -n N [-m M] [-f F] [-maxw W] [-seed S]
 //
-// With -congest the real Appendix B message protocol runs on a simulated
-// CONGEST network and the communication metrics are reported; -parallel
-// runs every node as its own goroutine, -sharded steps node shards on a
-// fixed worker pool (the fast path for large instances), -tcp moves the
-// messages over real loopback sockets. -gen emits a synthetic instance as
-// JSON instead of solving. -compare runs the paper's baselines next to the
-// algorithm; -exact-opt audits small instances against a branch-and-bound
-// optimum.
+// -flat runs the chunk-parallel flat solver (one worker per core, or -par
+// workers): the fastest way to just get the cover, with results
+// bit-identical to the default simulator. With -congest the real Appendix B
+// message protocol runs on a simulated CONGEST network and the
+// communication metrics are reported; -parallel runs every node as its own
+// goroutine, -sharded steps node shards on a fixed worker pool (the fast
+// message-passing path for large instances), -tcp moves the messages over
+// real loopback sockets. -gen emits a synthetic instance as JSON instead of
+// solving. -compare runs the paper's baselines next to the algorithm;
+// -exact-opt audits small instances against a branch-and-bound optimum.
 package main
 
 import (
@@ -48,6 +51,8 @@ func run() error {
 		localAlpha  = flag.Bool("local-alpha", false, "per-edge α from Δ(e)")
 		alpha       = flag.Float64("alpha", 0, "fixed α ≥ 2 (0 = Theorem 9 choice)")
 		exact       = flag.Bool("exact", false, "exact big.Rat arithmetic")
+		flat        = flag.Bool("flat", false, "chunk-parallel flat solver (bit-identical, one worker per core)")
+		par         = flag.Int("par", 0, "with -flat: worker count (0 = GOMAXPROCS)")
 		congestRun  = flag.Bool("congest", false, "run the real CONGEST message protocol")
 		parallel    = flag.Bool("parallel", false, "with -congest: one goroutine per node")
 		sharded     = flag.Bool("sharded", false, "with -congest: fixed worker pool over node shards (large instances)")
@@ -119,6 +124,15 @@ func run() error {
 	}
 	if *shards != 0 && !*sharded {
 		return fmt.Errorf("-shards requires -sharded")
+	}
+	if *flat && *congestRun {
+		return fmt.Errorf("-flat is the direct solver; it cannot be combined with -congest")
+	}
+	if *par != 0 && !*flat {
+		return fmt.Errorf("-par requires -flat")
+	}
+	if *flat {
+		opts = append(opts, distcover.WithFlatEngine(), distcover.WithSolverParallelism(*par))
 	}
 	if *parallel {
 		opts = append(opts, distcover.WithParallelEngine())

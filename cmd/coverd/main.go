@@ -38,7 +38,9 @@ func main() {
 		queueN   = flag.Int("queue", 256, "job queue bound (full queue ⇒ 429)")
 		cacheN   = flag.Int("cache", 1024, "instance-result cache entries (-1 disables)")
 		maxBatch = flag.Int("max-batch", 4096, "max requests per batch call")
-		sessions = flag.Int("sessions", 128, "max live incremental sessions (LRU-evicted beyond)")
+		sessions = flag.Int("sessions", 128, "max live incremental sessions (secondary cap)")
+		sessMem  = flag.Int64("session-mem-budget", 256<<20,
+			"byte budget for all live sessions (estimated instance+state size; LRU-evicted beyond; -1 = unbounded)")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target      = flag.String("target", "", "with -loadgen: server URL (empty = self-host in-process)")
@@ -78,11 +80,12 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueN,
-		CacheSize:       *cacheN,
-		MaxBatch:        *maxBatch,
-		SessionCapacity: *sessions,
+		Workers:             *workers,
+		QueueDepth:          *queueN,
+		CacheSize:           *cacheN,
+		MaxBatch:            *maxBatch,
+		SessionCapacity:     *sessions,
+		SessionMemoryBudget: *sessMem,
 	})
 	defer srv.Close()
 

@@ -209,13 +209,23 @@ var ErrNilInstance = errors.New("distcover: nil instance")
 
 // Solve runs Algorithm MWHVC on the instance with the fast lockstep
 // simulator and returns the cover with its certificate and measured
-// distributed complexity.
+// distributed complexity. With WithFlatEngine the lockstep iterations run
+// chunk-parallel over the instance's CSR arrays instead — bit-identical
+// results, wall-clock scaling with cores.
 func Solve(in *Instance, opts ...Option) (*Solution, error) {
 	if in == nil {
 		return nil, ErrNilInstance
 	}
-	cfg := buildOptions(opts)
-	res, err := core.Run(in.g, cfg)
+	cfg := optConfig(opts)
+	var (
+		res *core.Result
+		err error
+	)
+	if cfg.flat {
+		res, err = core.RunFlat(in.g, cfg.core, cfg.parallelism)
+	} else {
+		res, err = core.Run(in.g, cfg.core)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("distcover: %w", err)
 	}

@@ -104,7 +104,9 @@ func randomEquivalenceInstance(t *testing.T, rng *rand.Rand, i int) *hypergraph.
 // TestEngineEquivalenceOnCoverProtocol is the cross-engine differential
 // property test: on 50 random weighted instances the sequential, parallel
 // and sharded engines must produce identical covers, identical
-// metrics.Rounds, and identical message-bit accounting.
+// metrics.Rounds, and identical message-bit accounting — and the flat
+// chunk-parallel solver must match them bit for bit (covers, duals,
+// iterations) at several worker counts.
 func TestEngineEquivalenceOnCoverProtocol(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
 	opts := core.DefaultOptions()
@@ -113,6 +115,17 @@ func TestEngineEquivalenceOnCoverProtocol(t *testing.T) {
 		refRes, refMetrics, err := core.RunCongest(g, opts, congest.SequentialEngine{}, congest.Options{Validate: true})
 		if err != nil {
 			t.Fatalf("instance %d: sequential: %v", i, err)
+		}
+		for _, workers := range []int{1, 4} {
+			flat, err := core.RunFlat(g, opts, workers)
+			if err != nil {
+				t.Fatalf("instance %d: flat/%d: %v", i, workers, err)
+			}
+			if !reflect.DeepEqual(flat.Cover, refRes.Cover) ||
+				!reflect.DeepEqual(flat.Dual, refRes.Dual) ||
+				flat.Iterations != refRes.Iterations {
+				t.Errorf("instance %d: flat/%d diverges from the protocol engines", i, workers)
+			}
 		}
 		for name, eng := range equivalenceEngines() {
 			res, metrics, err := core.RunCongest(g, opts, eng, congest.Options{Validate: true})
@@ -180,6 +193,7 @@ func TestSessionReplayAcrossEngines(t *testing.T) {
 		sessions := map[string]*Session{}
 		for name, opts := range map[string][]Option{
 			"sim":        {},
+			"flat":       {WithFlatEngine(), WithSolverParallelism(3)},
 			"sequential": {WithSequentialEngine()},
 			"parallel":   {WithParallelEngine()},
 			"sharded":    {WithShardedEngine(), WithShardCount(3)},
@@ -207,7 +221,7 @@ func TestSessionReplayAcrossEngines(t *testing.T) {
 			// The simulator session updates first: it is the reference the
 			// engine sessions are compared against within the batch.
 			ref := sessions["sim"]
-			for _, name := range []string{"sim", "sequential", "parallel", "sharded"} {
+			for _, name := range []string{"sim", "flat", "sequential", "parallel", "sharded"} {
 				s := sessions[name]
 				if _, err := s.Update(d); err != nil {
 					t.Fatalf("instance %d batch %d: %s: %v", i, batch, name, err)
@@ -272,5 +286,18 @@ func TestEngineEquivalencePublicAPI(t *testing.T) {
 		if stats.Rounds != refStats.Rounds || stats.TotalBits != refStats.TotalBits {
 			t.Errorf("stats mismatch: %+v vs %+v", stats, refStats)
 		}
+	}
+	// The flat engine goes through Solve; the whole Solution must match the
+	// simulator's bit for bit.
+	simSol, err := Solve(inst, WithEpsilon(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatSol, err := Solve(inst, WithEpsilon(0.5), WithFlatEngine(), WithSolverParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(simSol, flatSol) {
+		t.Errorf("flat Solve diverges from simulator:\n%+v\nvs\n%+v", flatSol, simSol)
 	}
 }

@@ -1,8 +1,9 @@
 // Package bench is the experiment harness that regenerates the paper's
 // evaluation artifacts: Table 1 (distributed MWVC algorithms) and Table 2
 // (distributed MWHVC algorithms) as *measured* round counts and
-// approximation ratios, plus the theorem-shape experiments E1–E10 indexed
-// by Registry (run `benchharness -list`). Each experiment returns printable
+// approximation ratios, plus the theorem-shape and throughput experiments
+// E1–E13 indexed by Registry (run `benchharness -list`; E12 lives in the
+// sessions subpackage). Each experiment returns printable
 // tables consumed by cmd/benchharness and by the root-level benchmarks.
 package bench
 
@@ -23,7 +24,7 @@ type Config struct {
 
 // Table is a printable experiment result.
 type Table struct {
-	// ID is the experiment id (T1, T2, E1..E9).
+	// ID is the experiment id (T1, T2, E1..E13).
 	ID string
 	// Title describes what the table reproduces.
 	Title string
@@ -100,6 +101,7 @@ func Registry() []Experiment {
 		{ID: "E9", Title: "Shrinking ε (Corollaries 11 and 12)", Run: EpsilonRange},
 		{ID: "E10", Title: "Local α(e): no global knowledge of Δ (Theorem 9 remark)", Run: LocalAlpha},
 		{ID: "E11", Title: "Engine throughput: goroutine-per-node vs sharded worker pool", Run: EngineThroughput},
+		{ID: "E13", Title: "Direct solver throughput: chunk-parallel flat runner vs sharded CONGEST", Run: FlatThroughput},
 	}
 }
 

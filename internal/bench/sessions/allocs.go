@@ -9,15 +9,19 @@ import (
 	"distcover/internal/bench"
 )
 
-// MeasureAllocs counts heap allocations on the two hot paths the ROADMAP
-// asks to gate machine-independently: a full lockstep solve and a session
-// delta batch. Allocation counts are a property of the code, not the
-// hardware, so the baseline comparator holds them to exact equality (the
-// 0.001 tolerance is float-formatting slack) — the regression gate that
-// raw wall-clock tolerances are too loose to provide.
+// MeasureAllocs counts heap allocations on the hot paths the ROADMAP asks
+// to gate machine-independently: a full lockstep solve, the same solve on
+// the chunk-parallel flat runner, and a session delta batch. Allocation
+// counts are a property of the code, not the hardware, so the baseline
+// comparator holds them to exact equality (the 0.001 tolerance is
+// float-formatting slack) — the regression gate that raw wall-clock
+// tolerances are too loose to provide.
 //
 // The probes use a fixed instance independent of quick/full mode, so the
-// quick CI run re-measures exactly the committed values.
+// quick CI run re-measures exactly the committed values. The flat probe
+// pins the worker count (rather than GOMAXPROCS) for the same reason: the
+// pool's per-worker scratch allocates per worker, and the committed count
+// must not depend on the machine's core count.
 func MeasureAllocs(bench.Config) ([]bench.Measurement, []bench.Table, error) {
 	inst, delta, err := allocProbeFixture()
 	if err != nil {
@@ -25,6 +29,12 @@ func MeasureAllocs(bench.Config) ([]bench.Measurement, []bench.Table, error) {
 	}
 	solveAllocs := testing.AllocsPerRun(20, func() {
 		if _, err := distcover.Solve(inst); err != nil {
+			panic(err)
+		}
+	})
+	const flatWorkers = 4
+	flatAllocs := testing.AllocsPerRun(20, func() {
+		if _, err := distcover.Solve(inst, distcover.WithFlatEngine(), distcover.WithSolverParallelism(flatWorkers)); err != nil {
 			panic(err)
 		}
 	})
@@ -39,9 +49,11 @@ func MeasureAllocs(bench.Config) ([]bench.Measurement, []bench.Table, error) {
 		Header: []string{"path", "allocs/op"},
 	}
 	t.AddRow("Solve (lockstep, 2000x4000 f=3)", fmt.Sprintf("%.0f", solveAllocs))
+	t.AddRow(fmt.Sprintf("Solve (flat, %d workers)", flatWorkers), fmt.Sprintf("%.0f", flatAllocs))
 	t.AddRow("Session.Update (100-edge delta)", fmt.Sprintf("%.0f", updateAllocs))
 	ms := []bench.Measurement{
 		{Name: "allocs/solve/sim", Value: solveAllocs, Unit: "allocs", Tolerance: 0.001},
+		{Name: "allocs/solve/flat", Value: flatAllocs, Unit: "allocs", Tolerance: 0.001},
 		{Name: "allocs/session/update", Value: updateAllocs, Unit: "allocs", Tolerance: 0.001},
 	}
 	return ms, []bench.Table{t}, nil

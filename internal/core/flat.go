@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"distcover/internal/hypergraph"
+)
+
+// This file implements the flat engine: a chunk-parallel execution of the
+// lockstep runner (runner.go) over the hypergraph's CSR arrays. Each phase
+// of an iteration becomes a parallel-for over contiguous index ranges with
+// per-worker partial statistics and a deterministic reduction, and the one
+// scatter in the sequential runner — edges adding their dual increment into
+// every member vertex's Σδ — is inverted into a per-vertex gather over the
+// incidence CSR. The gather visits each vertex's incident edges in
+// ascending edge id, which is exactly the order the sequential edge loop
+// scatters in, so every float accumulates the same addends in the same
+// order: the flat engine is bit-identical to runLockstep (and therefore to
+// all CONGEST engines), independent of the worker count. The engine
+// equivalence tests enforce this.
+//
+// Work is partitioned by CSR volume, not by index count: vertex chunks hold
+// equal shares of the incidence array and edge chunks equal shares of the
+// edge-vertex array, so a power-law instance's hub vertices do not pile
+// onto one worker.
+//
+// Exact (big.Rat) runs are routed to the sequential runner by RunFlat:
+// rational arithmetic is allocation-bound rather than memory-bound, and the
+// results are identical by construction.
+
+// RunFlat executes Algorithm MWHVC on g with the chunk-parallel flat
+// runner. workers ≤ 0 uses GOMAXPROCS. Results are bit-identical to Run for
+// every worker count.
+func RunFlat(g *hypergraph.Hypergraph, opts Options, workers int) (*Result, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	if opts.Exact {
+		return runLockstep(newRatNumeric(), g, opts, nil)
+	}
+	return runLockstepFlat(g, opts, nil, workers)
+}
+
+// RunResidualFlat is RunResidual on the flat runner: a warm-started
+// chunk-parallel solve of a residual instance with carried vertex loads.
+// Bit-identical to RunResidual for every worker count.
+func RunResidualFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, workers int) (*Result, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	if err := validateCarry(g, carry); err != nil {
+		return nil, err
+	}
+	if opts.Exact {
+		return runLockstep(newRatNumeric(), g, opts, carry)
+	}
+	return runLockstepFlat(g, opts, carry, workers)
+}
+
+// flatRun is the parallel scaffolding around the shared solver state.
+type flatRun struct {
+	st      *state[float64]
+	workers int
+	vb      []int // vertex chunk bounds, len workers+1
+	eb      []int // edge chunk bounds, len workers+1
+
+	// Per-edge iteration scratch, written by edge chunks and read by vertex
+	// gather chunks after the phase barrier.
+	addE  []float64 // dual increment of a live edge this iteration
+	newly []bool    // edge became covered this iteration
+
+	// Per-chunk partials, merged by the coordinator after each barrier.
+	partStats []IterationStats
+
+	fn       func(chunk int) // body of the phase in flight
+	work     chan int
+	phaseWG  sync.WaitGroup
+	workerWG sync.WaitGroup
+}
+
+// runLockstepFlat mirrors runLockstep phase for phase; see that function
+// for the algorithm commentary. Only the float64 path exists: the flat
+// engine is the production fast path, and exact runs go sequential.
+func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, workers int) (*Result, error) {
+	n, m := g.NumVertices(), g.NumEdges()
+	f := g.Rank()
+	eps := opts.Epsilon
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := maxInt(n, 1); workers > max {
+		workers = max
+	}
+	st := newState(floatNumeric{}, g, opts)
+	r := &flatRun{
+		st:        st,
+		workers:   workers,
+		addE:      make([]float64, m),
+		newly:     make([]bool, m),
+		partStats: make([]IterationStats, workers),
+	}
+	// The CSR offset arrays are themselves the cumulative volumes the
+	// chunks are balanced on — no per-solve derivation.
+	r.vb = volumeBounds(csrOffsets(g.IncidenceOffsets()), workers)
+	r.eb = volumeBounds(csrOffsets(g.EdgeOffsets()), workers)
+	if workers > 1 {
+		r.work = make(chan int)
+		for w := 0; w < workers; w++ {
+			r.workerWG.Add(1)
+			go func() {
+				defer r.workerWG.Done()
+				for c := range r.work {
+					r.fn(c)
+					r.phaseWG.Done()
+				}
+			}()
+		}
+		defer func() {
+			close(r.work)
+			r.workerWG.Wait()
+		}()
+	}
+
+	globalAlpha := st.resolveAlphas(f, eps)
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = defaultIterationCap(f, eps, g.MaxDegree(), globalAlpha)
+	}
+
+	r.initIterationZero(carry)
+
+	res := &Result{
+		Z:       ZLevels(f, eps),
+		Alpha:   globalAlpha,
+		Epsilon: eps,
+	}
+	for st.uncovered > 0 {
+		if res.Iterations >= maxIter {
+			return nil, fmt.Errorf("%w: %d iterations, %d edges uncovered",
+				ErrIterationLimit, res.Iterations, st.uncovered)
+		}
+		res.Iterations++
+		var its IterationStats
+		its.Iteration = res.Iterations
+		r.vertexPhase(&its)
+		r.edgePhase(&its)
+		r.gatherPhase()
+		if opts.CheckInvariants {
+			if err := st.checkInvariants(res.Iterations, res.Z); err != nil {
+				return nil, err
+			}
+		}
+		if opts.CollectTrace {
+			its.ActiveEdges = st.uncovered
+			for v := 0; v < n; v++ {
+				if !st.doneV[v] {
+					its.ActiveVertices++
+				}
+			}
+			res.Trace = append(res.Trace, its)
+		}
+	}
+	st.fill(res)
+	return res, nil
+}
+
+// forChunks runs fn(chunk) for every chunk, in parallel on the worker pool
+// (inline when the run is single-worker). The surrounding barrier provides
+// the happens-before edges between phases.
+func (r *flatRun) forChunks(fn func(chunk int)) {
+	if r.workers == 1 {
+		fn(0)
+		return
+	}
+	r.fn = fn
+	r.phaseWG.Add(r.workers)
+	for c := 0; c < r.workers; c++ {
+		r.work <- c
+	}
+	r.phaseWG.Wait()
+}
+
+// initIterationZero is the parallel form of state.initIterationZero: vertex
+// seeding, per-edge initial bids, then a per-vertex gather of the bids into
+// the Σδ / Σbid aggregates (ascending edge id — the sequential scatter
+// order).
+func (r *flatRun) initIterationZero(carry []float64) {
+	st, g := r.st, r.st.g
+	num := st.num
+	f := maxInt(g.Rank(), 1)
+	r.forChunks(func(c int) {
+		for v := r.vb[c]; v < r.vb[c+1]; v++ {
+			w := g.Weight(hypergraph.VertexID(v))
+			st.wT[v] = float64(w)
+			st.fWT[v] = float64(w * int64(f))
+			st.sumDelta[v] = 0
+			if carry != nil {
+				st.sumDelta[v] = carry[v]
+				for num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)) > st.wT[v] {
+					st.level[v]++
+				}
+			}
+			st.sumBid[v] = 0
+			st.uncovDeg[v] = g.Degree(hypergraph.VertexID(v))
+			if st.uncovDeg[v] == 0 {
+				st.doneV[v] = true
+			}
+		}
+	})
+	r.forChunks(func(c int) {
+		for e := r.eb[c]; e < r.eb[c+1]; e++ {
+			vs := g.Edge(hypergraph.EdgeID(e))
+			ve := vs[0]
+			var b float64
+			if carry == nil {
+				for _, v := range vs[1:] {
+					// argmin w(v)/|E(v)| with deterministic tie-break on lower
+					// id, compared in exact integers (see runner.go).
+					if g.Weight(v)*int64(g.Degree(ve)) < g.Weight(ve)*int64(g.Degree(v)) {
+						ve = v
+					}
+				}
+				b = num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve)))
+			} else {
+				best := num.HalfPow(num.FromRatio(g.Weight(ve), int64(g.Degree(ve))), st.level[ve])
+				for _, v := range vs[1:] {
+					cand := num.HalfPow(num.FromRatio(g.Weight(v), int64(g.Degree(v))), st.level[v])
+					if cand < best {
+						ve, best = v, cand
+					}
+				}
+				b = num.HalfPow(num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve))), st.level[ve])
+			}
+			st.bid[e] = b
+			st.delta[e] = b
+		}
+	})
+	r.forChunks(func(c int) {
+		for v := r.vb[c]; v < r.vb[c+1]; v++ {
+			for _, e := range g.Incident(hypergraph.VertexID(v)) {
+				st.sumDelta[v] = num.Add(st.sumDelta[v], st.bid[e])
+				st.sumBid[v] = num.Add(st.sumBid[v], st.bid[e])
+			}
+		}
+	})
+}
+
+// vertexPhase runs steps 3a/3d/3e in parallel. Vertices only touch their
+// own state, so the body is the sequential one verbatim with per-chunk
+// statistics.
+func (r *flatRun) vertexPhase(its *IterationStats) {
+	st := r.st
+	num := st.num
+	r.forChunks(func(c int) {
+		part := &r.partStats[c]
+		*part = IterationStats{}
+		for v := r.vb[c]; v < r.vb[c+1]; v++ {
+			st.inc[v] = 0
+			st.joined[v] = false
+			if st.doneV[v] {
+				continue
+			}
+			if num.Cmp(num.Mul(st.sumDelta[v], st.fPlusEps), st.fWT[v]) >= 0 {
+				st.inCover[v] = true
+				st.joined[v] = true
+				st.doneV[v] = true
+				part.Joined++
+				continue
+			}
+			for num.Cmp(num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)), st.wT[v]) > 0 {
+				st.level[v]++
+				st.inc[v]++
+			}
+			if st.inc[v] > 0 {
+				st.stuckCur[v] = 0
+				part.LevelIncrements += st.inc[v]
+				if st.inc[v] > part.MaxLevelIncrement {
+					part.MaxLevelIncrement = st.inc[v]
+				}
+			}
+			view := num.HalfPow(st.sumBid[v], st.inc[v])
+			if num.Cmp(num.Mul(st.alphaV[v], view), num.HalfPow(st.wT[v], st.level[v]+1)) <= 0 {
+				st.raise[v] = true
+			} else {
+				st.raise[v] = false
+				part.StuckVertices++
+				st.stuckCur[v]++
+				if st.stuckCur[v] > st.stuckMax[v] {
+					st.stuckMax[v] = st.stuckCur[v]
+				}
+			}
+		}
+	})
+	for c := 0; c < r.workers; c++ {
+		p := r.partStats[c]
+		its.Joined += p.Joined
+		its.LevelIncrements += p.LevelIncrements
+		its.StuckVertices += p.StuckVertices
+		if p.MaxLevelIncrement > its.MaxLevelIncrement {
+			its.MaxLevelIncrement = p.MaxLevelIncrement
+		}
+	}
+}
+
+// edgePhase runs the per-edge half of steps 3b/3c/3d/3f in parallel: each
+// live edge decides covered-vs-live, halves and raises its bid, and records
+// its dual increment in addE for the gather phase. The Σδ scatter of the
+// sequential runner is deferred to gatherPhase.
+func (r *flatRun) edgePhase(its *IterationStats) {
+	st, g := r.st, r.st.g
+	num := st.num
+	r.forChunks(func(c int) {
+		part := &r.partStats[c]
+		*part = IterationStats{}
+		for e := r.eb[c]; e < r.eb[c+1]; e++ {
+			if st.covered[e] {
+				r.newly[e] = false // covered in an earlier iteration
+				continue
+			}
+			vs := g.Edge(hypergraph.EdgeID(e))
+			nowCovered := false
+			halvings := 0
+			allRaise := true
+			for _, v := range vs {
+				if st.joined[v] {
+					nowCovered = true
+				}
+				halvings += st.inc[v]
+				if !st.raise[v] {
+					allRaise = false
+				}
+			}
+			if nowCovered {
+				st.covered[e] = true
+				r.newly[e] = true
+				part.CoveredEdges++
+				continue
+			}
+			if halvings > 0 {
+				st.bid[e] = num.HalfPow(st.bid[e], halvings)
+			}
+			if allRaise {
+				st.bid[e] = num.Mul(st.bid[e], st.alphaE[e])
+				part.RaisedEdges++
+				st.raises[e]++
+			}
+			add := st.bid[e]
+			if st.opts.Variant == VariantSingleLevel {
+				add = num.HalfPow(add, 1)
+			}
+			st.delta[e] = num.Add(st.delta[e], add)
+			r.addE[e] = add
+		}
+	})
+	for c := 0; c < r.workers; c++ {
+		p := r.partStats[c]
+		its.CoveredEdges += p.CoveredEdges
+		its.RaisedEdges += p.RaisedEdges
+		st.uncovered -= p.CoveredEdges
+	}
+}
+
+// gatherPhase is the vertex-side completion of the edge phase plus the
+// aggregate refresh, fused into one incidence walk per vertex: newly
+// covered edges decrement the uncovered degree, live edges contribute their
+// dual increment to Σδ and their bid to the refreshed Σbid — both in
+// ascending edge id, the order the sequential runner applies them in.
+func (r *flatRun) gatherPhase() {
+	st, g := r.st, r.st.g
+	num := st.num
+	r.forChunks(func(c int) {
+		for v := r.vb[c]; v < r.vb[c+1]; v++ {
+			if st.doneV[v] {
+				continue
+			}
+			deg := st.uncovDeg[v]
+			sumBid := 0.0
+			alphaV := st.alphaV[v]
+			if st.localAlpha {
+				alphaV = 2
+			}
+			for _, e := range g.Incident(hypergraph.VertexID(v)) {
+				if r.newly[e] {
+					deg--
+					continue
+				}
+				if st.covered[e] {
+					continue
+				}
+				st.sumDelta[v] = num.Add(st.sumDelta[v], r.addE[e])
+				sumBid = num.Add(sumBid, st.bid[e])
+				if st.localAlpha && st.alphaE[e] > alphaV {
+					alphaV = st.alphaE[e]
+				}
+			}
+			st.uncovDeg[v] = deg
+			if deg == 0 {
+				st.doneV[v] = true
+				continue
+			}
+			st.sumBid[v] = sumBid
+			if st.localAlpha {
+				st.alphaV[v] = alphaV
+			}
+		}
+	})
+}
+
+// csrOffsets adapts a hypergraph offset view for volumeBounds: the
+// zero-value graph exposes empty offset arrays, which stand for zero
+// items.
+func csrOffsets(off []int) []int {
+	if len(off) == 0 {
+		return []int{0}
+	}
+	return off
+}
+
+// volumeBounds partitions items 0..len(off)-2 into parts contiguous chunks
+// of roughly equal volume, where off is the cumulative volume (off[i] =
+// volume of items < i). Chunk c covers [bounds[c], bounds[c+1]). Items with
+// zero volume cannot skew a chunk, and an all-zero volume falls back to an
+// equal item split.
+func volumeBounds(off []int, parts int) []int {
+	items := len(off) - 1
+	bounds := make([]int, parts+1)
+	total := off[items]
+	if total == 0 {
+		for c := 0; c <= parts; c++ {
+			bounds[c] = c * items / parts
+		}
+		return bounds
+	}
+	for c := 1; c < parts; c++ {
+		target := total * c / parts
+		i := sort.SearchInts(off, target)
+		if i > items {
+			i = items
+		}
+		if i < bounds[c-1] {
+			i = bounds[c-1]
+		}
+		bounds[c] = i
+	}
+	bounds[parts] = items
+	return bounds
+}

@@ -27,37 +27,10 @@ import (
 // shrink to fit the remaining slack; see initIterationZero. carry == nil is
 // the ordinary cold start.
 func runLockstep[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options, carry []float64) (*Result, error) {
-	n, m := g.NumVertices(), g.NumEdges()
+	n := g.NumVertices()
 	f := g.Rank()
 	eps := opts.Epsilon
-	st := &state[T]{
-		num:  num,
-		g:    g,
-		opts: opts,
-
-		bid:     make([]T, m),
-		delta:   make([]T, m),
-		covered: make([]bool, m),
-		alphaE:  make([]T, m),
-
-		level:     make([]int, n),
-		sumDelta:  make([]T, n),
-		sumBid:    make([]T, n),
-		alphaV:    make([]T, n),
-		inCover:   make([]bool, n),
-		doneV:     make([]bool, n),
-		uncovDeg:  make([]int, n),
-		inc:       make([]int, n),
-		raise:     make([]bool, n),
-		joined:    make([]bool, n),
-		raises:    make([]int, m),
-		stuckCur:  make([]int, n),
-		stuckMax:  make([]int, n),
-		wT:        make([]T, n),
-		fWT:       make([]T, n),
-		fPlusEps:  num.Add(num.FromRatio(int64(maxInt(f, 1)), 1), num.FromFloat(eps)),
-		uncovered: m,
-	}
+	st := newState(num, g, opts)
 
 	globalAlpha := st.resolveAlphas(f, eps)
 	maxIter := opts.MaxIterations
@@ -134,6 +107,41 @@ type state[T any] struct {
 
 	uncovered  int
 	localAlpha bool
+}
+
+// newState allocates the runner's working memory for g. Shared by the
+// sequential lockstep runner and the chunk-parallel flat runner (flat.go).
+func newState[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options) *state[T] {
+	n, m := g.NumVertices(), g.NumEdges()
+	f := g.Rank()
+	return &state[T]{
+		num:  num,
+		g:    g,
+		opts: opts,
+
+		bid:     make([]T, m),
+		delta:   make([]T, m),
+		covered: make([]bool, m),
+		alphaE:  make([]T, m),
+
+		level:     make([]int, n),
+		sumDelta:  make([]T, n),
+		sumBid:    make([]T, n),
+		alphaV:    make([]T, n),
+		inCover:   make([]bool, n),
+		doneV:     make([]bool, n),
+		uncovDeg:  make([]int, n),
+		inc:       make([]int, n),
+		raise:     make([]bool, n),
+		joined:    make([]bool, n),
+		raises:    make([]int, m),
+		stuckCur:  make([]int, n),
+		stuckMax:  make([]int, n),
+		wT:        make([]T, n),
+		fWT:       make([]T, n),
+		fPlusEps:  num.Add(num.FromRatio(int64(maxInt(f, 1)), 1), num.FromFloat(opts.Epsilon)),
+		uncovered: m,
+	}
 }
 
 func maxInt(a, b int) int {

@@ -74,10 +74,6 @@ func (b *Builder) Build() (*Hypergraph, error) {
 			return nil, fmt.Errorf("%w: vertex %d has weight %d", ErrNonPositiveWeight, v, w)
 		}
 	}
-	g := &Hypergraph{
-		weights: append([]int64(nil), b.weights...),
-		edges:   make([][]VertexID, len(b.edges)),
-	}
 	for i, e := range b.edges {
 		if len(e) == 0 {
 			return nil, fmt.Errorf("%w: edge %d", ErrEmptyEdge, i)
@@ -88,8 +84,9 @@ func (b *Builder) Build() (*Hypergraph, error) {
 					ErrVertexRange, i, v, len(b.weights))
 			}
 		}
-		g.edges[i] = append([]VertexID(nil), e...)
 	}
+	g := &Hypergraph{weights: append([]int64(nil), b.weights...)}
+	g.setEdgesFromRows(b.edges)
 	g.buildIncidence()
 	return g, nil
 }

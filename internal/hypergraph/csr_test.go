@@ -1,0 +1,211 @@
+package hypergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// oracle is a slice-of-slices shadow of a hypergraph, grown alongside the
+// CSR value under test. It is the layout the package used before the CSR
+// refactor; keeping it as the reference makes every round-trip check an
+// independent re-derivation rather than a CSR-vs-CSR comparison.
+type oracle struct {
+	weights []int64
+	edges   [][]VertexID
+}
+
+func (o *oracle) extend(addW []int64, addE [][]VertexID) {
+	o.weights = append(o.weights, addW...)
+	for _, e := range addE {
+		o.edges = append(o.edges, sortedUnique(e))
+	}
+}
+
+// incidence derives the incidence lists from the edge list.
+func (o *oracle) incidence() [][]EdgeID {
+	inc := make([][]EdgeID, len(o.weights))
+	for e, vs := range o.edges {
+		for _, v := range vs {
+			inc[v] = append(inc[v], EdgeID(e))
+		}
+	}
+	return inc
+}
+
+// requireMatchesOracle checks every accessor of g against the oracle:
+// weights, edge contents, incidence contents, degrees, rank, max degree and
+// the canonical hash (computed on a fresh build of the oracle's data).
+func requireMatchesOracle(t *testing.T, label string, g *Hypergraph, o *oracle) {
+	t.Helper()
+	if g.NumVertices() != len(o.weights) || g.NumEdges() != len(o.edges) {
+		t.Fatalf("%s: size n=%d m=%d, want n=%d m=%d",
+			label, g.NumVertices(), g.NumEdges(), len(o.weights), len(o.edges))
+	}
+	if len(o.weights) > 0 && !reflect.DeepEqual(g.Weights(), o.weights) {
+		t.Fatalf("%s: weights diverge", label)
+	}
+	rank := 0
+	for e, vs := range o.edges {
+		if len(vs) > rank {
+			rank = len(vs)
+		}
+		if got := g.Edge(EdgeID(e)); !reflect.DeepEqual(got, vs) {
+			t.Fatalf("%s: edge %d = %v, want %v", label, e, got, vs)
+		}
+		if g.EdgeSize(EdgeID(e)) != len(vs) {
+			t.Fatalf("%s: edge %d size", label, e)
+		}
+	}
+	maxDeg := 0
+	for v, inc := range o.incidence() {
+		if len(inc) > maxDeg {
+			maxDeg = len(inc)
+		}
+		got := g.Incident(VertexID(v))
+		if len(got) != len(inc) || (len(inc) > 0 && !reflect.DeepEqual(got, inc)) {
+			t.Fatalf("%s: incidence of %d = %v, want %v", label, v, got, inc)
+		}
+		if g.Degree(VertexID(v)) != len(inc) {
+			t.Fatalf("%s: degree of %d", label, v)
+		}
+	}
+	if g.Rank() != rank || g.MaxDegree() != maxDeg {
+		t.Fatalf("%s: rank/Δ = %d/%d, want %d/%d", label, g.Rank(), g.MaxDegree(), rank, maxDeg)
+	}
+	if fresh := MustNew(o.weights, o.edges); g.Hash() != fresh.Hash() {
+		t.Fatalf("%s: hash diverges from a fresh build of the oracle", label)
+	}
+}
+
+// TestCSRRoundTripsAgainstOracle drives randomized chained extensions and,
+// after every step, verifies the CSR value against the slice-of-slices
+// oracle through three independent round-trips: the live value, its Clone,
+// and a JSON write/read cycle. All three must agree with the oracle on
+// Edge/Incident contents and on Instance.Hash.
+func TestCSRRoundTripsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(90125))
+	o := &oracle{weights: []int64{5, 2, 9, 4}, edges: [][]VertexID{{0, 1}, {2, 3}, {1, 2, 3}}}
+	g := MustNew(o.weights, o.edges)
+	requireMatchesOracle(t, "seed", g, o)
+	for step := 0; step < 25; step++ {
+		var addW []int64
+		for i := 0; i < rng.Intn(3); i++ {
+			addW = append(addW, 1+rng.Int63n(50))
+		}
+		n := len(o.weights) + len(addW)
+		var addE [][]VertexID
+		for i := 0; i < rng.Intn(4); i++ {
+			k := 1 + rng.Intn(4)
+			var e []VertexID
+			for j := 0; j < k; j++ {
+				e = append(e, VertexID(rng.Intn(n)))
+			}
+			addE = append(addE, e)
+		}
+		h, err := g.Extend(addW, addE)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		o.extend(addW, addE)
+		requireMatchesOracle(t, "extend", h, o)
+
+		clone := h.Clone()
+		requireMatchesOracle(t, "clone", clone, o)
+
+		var buf bytes.Buffer
+		if _, err := h.WriteTo(&buf); err != nil {
+			t.Fatalf("step %d: write: %v", step, err)
+		}
+		decoded, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("step %d: read: %v", step, err)
+		}
+		requireMatchesOracle(t, "io", decoded, o)
+
+		g = h
+	}
+}
+
+// TestCloneIsolatedFromExtension: a Clone must share no storage with its
+// source — extending the source (which may claim and append into the
+// source's backing arrays) must leave the clone bit-identical.
+func TestCloneIsolatedFromExtension(t *testing.T) {
+	o := &oracle{weights: []int64{3, 1, 4, 1}, edges: [][]VertexID{{0, 1}, {1, 2}, {2, 3}}}
+	g := MustNew(o.weights, o.edges)
+	clone := g.Clone()
+	wantHash := clone.Hash()
+	if _, err := g.Extend([]int64{9}, [][]VertexID{{0, 4}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	requireMatchesOracle(t, "clone-after-extend", clone, o)
+	if clone.Hash() != wantHash {
+		t.Fatal("clone hash changed after source extension")
+	}
+}
+
+// TestViewsSurviveClaimedExtend is the aliasing regression test for the
+// documented Edge/Incident contract: an Extend may claim the base graph's
+// backing arrays and append in place, but it must only ever write beyond
+// the base's lengths — so views taken from the base before the Extend keep
+// their exact contents (they describe the pre-Extend graph; retaining them
+// as descriptions of the extended graph is the caller bug the contract and
+// EdgeCopy/IncidentCopy exist for).
+func TestViewsSurviveClaimedExtend(t *testing.T) {
+	g := MustNew([]int64{2, 3, 5, 7}, [][]VertexID{{0, 1}, {1, 2, 3}, {0, 3}})
+	var edgeViews [][]VertexID
+	var incViews [][]EdgeID
+	var edgeWant [][]VertexID
+	var incWant [][]EdgeID
+	for e := 0; e < g.NumEdges(); e++ {
+		edgeViews = append(edgeViews, g.Edge(EdgeID(e)))
+		edgeWant = append(edgeWant, g.EdgeCopy(EdgeID(e)))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		incViews = append(incViews, g.Incident(VertexID(v)))
+		incWant = append(incWant, g.IncidentCopy(VertexID(v)))
+	}
+	// First extension claims g's spare capacity (in-place append path);
+	// the second goes through the copying path. Neither may disturb the
+	// base views.
+	if _, err := g.Extend([]int64{11}, [][]VertexID{{2, 4}, {0, 1, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Extend(nil, [][]VertexID{{1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	for e := range edgeViews {
+		if !reflect.DeepEqual(edgeViews[e], edgeWant[e]) {
+			t.Fatalf("edge view %d corrupted by Extend: %v, want %v", e, edgeViews[e], edgeWant[e])
+		}
+	}
+	for v := range incViews {
+		if len(incViews[v]) != len(incWant[v]) {
+			t.Fatalf("incidence view %d resized by Extend", v)
+		}
+		if len(incWant[v]) > 0 && !reflect.DeepEqual(incViews[v], incWant[v]) {
+			t.Fatalf("incidence view %d corrupted by Extend: %v, want %v", v, incViews[v], incWant[v])
+		}
+	}
+}
+
+// TestMemoryBytesTracksGrowth: the byte estimate must be positive, grow
+// under extension, and stay equal for equal instances (Clone).
+func TestMemoryBytesTracksGrowth(t *testing.T) {
+	g := MustNew([]int64{1, 2, 3}, [][]VertexID{{0, 1}, {1, 2}})
+	base := g.MemoryBytes()
+	if base <= 0 {
+		t.Fatalf("MemoryBytes = %d, want > 0", base)
+	}
+	if got := g.Clone().MemoryBytes(); got != base {
+		t.Fatalf("clone estimate %d != source %d", got, base)
+	}
+	h, err := g.Extend([]int64{4}, [][]VertexID{{0, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MemoryBytes() <= base {
+		t.Fatalf("extension did not grow the estimate: %d → %d", base, h.MemoryBytes())
+	}
+}

@@ -8,24 +8,35 @@ import (
 
 // Extend returns a new hypergraph equal to g plus addWeights appended
 // vertices and addEdges appended hyperedges (referencing old and new
-// vertices alike). g is unchanged and remains fully usable.
+// vertices alike). g is unchanged and remains fully usable — but any Edge
+// or Incident views taken from g before the call must be treated as
+// invalidated (see the aliasing contract on those methods).
 //
 // Extend is built for incremental sessions, where it runs on every delta
-// batch, so its cost is amortized O(n + |Δ| + Σ deg(touched)) rather than a
-// full O(n + m) rebuild:
+// batch. On the CSR layout its cost is O(n + I + |Δ|) where I is the total
+// incidence size — three flat array appends plus one counting-sort rebuild
+// of the incidence CSR — with no per-vertex or per-edge allocations:
 //
 //   - The weight and edge arrays grow with headroom, and the first Extend
 //     from a graph claims the spare capacity behind them (atomically), so a
 //     linear chain of extensions appends in place instead of copying the
 //     whole prefix every time. Branching extensions from one base remain
 //     correct — later claimants fall back to copying.
-//   - Incidence lists are updated only for the vertices the new edges
-//     touch; untouched vertices keep sharing the base graph's storage.
+//   - The incidence CSR cannot grow per vertex in place (an insertion in
+//     the middle of a flat array would shift everything behind it), but new
+//     edges carry ids larger than every existing edge, so each vertex's new
+//     incidences belong at the *end* of its segment. extendIncidence
+//     exploits that: the old array is block-copied run-by-run between
+//     delta-touched vertices (long memmoves, no per-edge scatter) and only
+//     the |Δ| new entries are placed individually. The fresh arrays also
+//     guarantee the new graph's incidence shares nothing with the base,
+//     which keeps MemoryBytes honest per graph.
 //   - The canonical edge order behind Hash is maintained by merging the
-//     sorted new suffix into the base order — O(m) merge, no re-sort.
+//     sorted new suffix into the base order — O(m) merge, no re-sort. The
+//     merged order is always a fresh slice, never shared with the base.
 func (g *Hypergraph) Extend(addWeights []int64, addEdges [][]VertexID) (*Hypergraph, error) {
 	n := len(g.weights) + len(addWeights)
-	m0 := len(g.edges)
+	m0 := g.NumEdges()
 	for i, w := range addWeights {
 		if w <= 0 {
 			return nil, fmt.Errorf("%w: vertex %d has weight %d",
@@ -33,6 +44,7 @@ func (g *Hypergraph) Extend(addWeights []int64, addEdges [][]VertexID) (*Hypergr
 		}
 	}
 	newEdges := make([][]VertexID, len(addEdges))
+	addVerts := 0
 	for i, e := range addEdges {
 		vs := sortedUnique(e)
 		if len(vs) == 0 {
@@ -45,51 +57,112 @@ func (g *Hypergraph) Extend(addWeights []int64, addEdges [][]VertexID) (*Hypergr
 			}
 		}
 		newEdges[i] = vs
+		addVerts += len(vs)
 	}
 	if m0+len(newEdges) > 0 && n == 0 {
 		return nil, ErrNoVertices
 	}
 
-	h := &Hypergraph{rank: g.rank, maxDegree: g.maxDegree}
+	h := &Hypergraph{}
 	// Claim g's spare capacity if we are the first extension from it; the
-	// in-place appends below never touch indices the base graph can read.
-	// Along a claim chain every backing position beyond a graph's length is
-	// written by exactly one descendant, so sharing stays sound.
+	// in-place appends below only write beyond the base graph's lengths, so
+	// every index the base can read stays untouched. Along a claim chain
+	// every backing position beyond a graph's length is written by exactly
+	// one descendant, so sharing stays sound.
 	claimed := atomic.CompareAndSwapUint32(&g.extended, 0, 1)
 	if claimed {
 		h.weights = append(g.weights, addWeights...)
-		h.edges = append(g.edges, newEdges...)
+		h.edgeOff = g.edgeOff
+		h.edgeVerts = g.edgeVerts
 	} else {
 		h.weights = append(growCopy(g.weights, len(addWeights)), addWeights...)
-		h.edges = append(growCopy(g.edges, len(newEdges)), newEdges...)
+		h.edgeOff = growCopy(g.edgeOff, len(newEdges))
+		h.edgeVerts = growCopy(g.edgeVerts, addVerts)
 	}
+	if len(h.edgeOff) == 0 {
+		h.edgeOff = append(h.edgeOff, 0)
+	}
+	for _, vs := range newEdges {
+		h.edgeVerts = append(h.edgeVerts, vs...)
+		h.edgeOff = append(h.edgeOff, len(h.edgeVerts))
+	}
+	h.extendIncidence(g, newEdges)
+	h.canon = mergeCanonicalOrder(h, g.canon, m0)
+	return h, nil
+}
 
-	// Incidence: copy the headers, then rebuild only the touched vertices.
-	// A touched old vertex's list is always copied out of the base storage
-	// on first touch: its backing may be aliased by arbitrarily many
-	// branches (untouched vertices share headers across the whole extension
-	// tree), so unlike weights/edges the per-graph claim cannot authorize
-	// appending into spare capacity. New vertices own their lists outright.
-	h.incidence = make([][]EdgeID, n)
-	copy(h.incidence, g.incidence)
-	for i, vs := range newEdges {
+// extendIncidence builds h's incidence CSR from the base graph's plus the
+// validated new edges (already appended to h's edge CSR). New edge ids are
+// larger than every base id and incidence lists are ascending, so a
+// vertex's new entries extend the tail of its segment: old segments keep
+// their internal layout and only shift by the growth of the touched
+// vertices before them. The old array is therefore block-copied in runs
+// between touched vertices — the per-edge counting-sort scatter of
+// buildIncidence, the dominant cost of a small delta on a large instance,
+// is paid only for the |Δ| new entries.
+func (h *Hypergraph) extendIncidence(g *Hypergraph, newEdges [][]VertexID) {
+	n := len(h.weights)
+	n0 := len(g.weights) // touched vertices may include ids ≥ n0 (new vertices)
+	m0 := g.NumEdges()
+	h.rank = g.rank
+	add := make([]int, n) // new incidences per vertex
+	addVol := 0
+	for _, vs := range newEdges {
 		if len(vs) > h.rank {
 			h.rank = len(vs)
 		}
-		id := EdgeID(m0 + i)
+		addVol += len(vs)
 		for _, v := range vs {
-			if int(v) < len(g.incidence) && len(h.incidence[v]) == len(g.incidence[v]) {
-				h.incidence[v] = growCopy(g.incidence[v], 1)
-			}
-			h.incidence[v] = append(h.incidence[v], id)
-			if len(h.incidence[v]) > h.maxDegree {
-				h.maxDegree = len(h.incidence[v])
-			}
+			add[v]++
 		}
 	}
-
-	h.canon = mergeCanonicalOrder(h.edges, g.canon, m0)
-	return h, nil
+	h.incOff = make([]int, n+1)
+	h.maxDegree = g.maxDegree
+	touched := make([]VertexID, 0, min(addVol, n)) // one alloc: ≤ one entry per new incidence
+	for v := 0; v < n; v++ {
+		d := add[v]
+		if v < n0 {
+			d += g.incOff[v+1] - g.incOff[v]
+		}
+		h.incOff[v+1] = h.incOff[v] + d
+		if d > h.maxDegree {
+			h.maxDegree = d
+		}
+		if add[v] > 0 {
+			touched = append(touched, VertexID(v))
+		}
+	}
+	h.incEdges = make([]EdgeID, h.incOff[n])
+	// Copy the old array in runs: everything up to and including a touched
+	// vertex's old segment lies contiguously in both arrays, offset by the
+	// growth of the touched vertices already passed.
+	src, dst := 0, 0
+	for _, v := range touched {
+		end := src
+		if int(v) < n0 {
+			end = g.incOff[v+1]
+		} else if n0 > 0 {
+			end = g.incOff[n0]
+		}
+		copy(h.incEdges[dst:], g.incEdges[src:end])
+		dst += end - src + add[v] // skip the slots the scatter below fills
+		src = end
+	}
+	if n0 > 0 {
+		copy(h.incEdges[dst:], g.incEdges[src:g.incOff[n0]])
+	}
+	// Scatter the new entries, reusing add as the per-vertex write cursor:
+	// ascending edge order keeps each tail ascending.
+	for _, tv := range touched {
+		add[tv] = h.incOff[tv+1] - add[tv]
+	}
+	for i, vs := range newEdges {
+		e := EdgeID(m0 + i)
+		for _, v := range vs {
+			h.incEdges[add[v]] = e
+			add[v]++
+		}
+	}
 }
 
 // growCopy copies s into a fresh slice with headroom for extra plus 25%,
@@ -101,32 +174,31 @@ func growCopy[T any](s []T, extra int) []T {
 }
 
 // mergeCanonicalOrder computes the canonical (lexicographic) edge order of
-// the extended edge list by merging the base order of edges[:m0] — cached
+// the extended graph h by merging the base order of edges [0, m0) — cached
 // if a prior Extend left one, sorted once otherwise — with the sorted order
-// of the new suffix edges[m0:]. Each new edge's insertion point is found by
+// of the new suffix [m0, m). Each new edge's insertion point is found by
 // binary search and the runs between them are block-copied, so the merge
 // costs O(k·(log k + log m)) comparisons plus one O(m) memmove — the
-// comparator never walks the whole old order.
-func mergeCanonicalOrder(edges [][]VertexID, oldOrder []int, m0 int) []int {
+// comparator never walks the whole old order. The result is always a fresh
+// slice: sharing the base's order across the extension tree would make the
+// graphs' byte accounting (MemoryBytes) overlap.
+func mergeCanonicalOrder(h *Hypergraph, oldOrder []int, m0 int) []int {
 	if oldOrder == nil {
-		oldOrder = canonicalEdgeOrder(edges[:m0])
+		oldOrder = h.canonicalEdgeOrder(0, m0)
 	}
-	newOrder := canonicalEdgeOrder(edges[m0:])
+	newOrder := h.canonicalEdgeOrder(m0, h.NumEdges())
 	if len(newOrder) == 0 {
-		return oldOrder // shared read-only with the base graph
+		return append([]int(nil), oldOrder...)
 	}
-	for i := range newOrder {
-		newOrder[i] += m0
-	}
-	merged := make([]int, 0, len(edges))
+	merged := make([]int, 0, h.NumEdges())
 	prev := 0
 	for _, ne := range newOrder {
-		e := edges[ne]
+		e := h.Edge(EdgeID(ne))
 		// First old position the new edge sorts strictly before; ties keep
 		// old edges first (equal edges hash identically either way), and
 		// newOrder being sorted keeps the positions non-decreasing.
 		pos := prev + sort.Search(len(oldOrder)-prev, func(i int) bool {
-			return edgeLexLess(e, edges[oldOrder[prev+i]])
+			return edgeLexLess(e, h.Edge(EdgeID(oldOrder[prev+i])))
 		})
 		merged = append(merged, oldOrder[prev:pos]...)
 		merged = append(merged, ne)

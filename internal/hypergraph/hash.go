@@ -35,11 +35,11 @@ func (g *Hypergraph) Hash() string {
 	}
 	order := g.canon // maintained incrementally by Extend
 	if order == nil {
-		order = canonicalEdgeOrder(g.edges)
+		order = g.canonicalEdgeOrder(0, g.NumEdges())
 	}
-	put(uint64(len(g.edges)))
+	put(uint64(g.NumEdges()))
 	for _, e := range order {
-		vs := g.edges[e]
+		vs := g.Edge(EdgeID(e))
 		put(uint64(len(vs)))
 		for _, v := range vs {
 			put(uint64(v))
@@ -48,15 +48,16 @@ func (g *Hypergraph) Hash() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// canonicalEdgeOrder returns edge indices sorted lexicographically by their
-// (already sorted) vertex lists, with shorter prefixes first.
-func canonicalEdgeOrder(edges [][]VertexID) []int {
-	order := make([]int, len(edges))
+// canonicalEdgeOrder returns the edge ids start..end-1 sorted
+// lexicographically by their (already sorted) vertex lists, with shorter
+// prefixes first.
+func (g *Hypergraph) canonicalEdgeOrder(start, end int) []int {
+	order := make([]int, end-start)
 	for i := range order {
-		order[i] = i
+		order[i] = start + i
 	}
 	sort.Slice(order, func(i, j int) bool {
-		return edgeLexLess(edges[order[i]], edges[order[j]])
+		return edgeLexLess(g.Edge(EdgeID(order[i])), g.Edge(EdgeID(order[j])))
 	})
 	return order
 }

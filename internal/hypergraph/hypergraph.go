@@ -10,6 +10,18 @@
 // incident edges; Δ is the maximum degree. These are exactly the quantities
 // the round bounds in Ben-Basat et al., "Optimal Distributed Covering
 // Algorithms" (PODC 2019), are stated in.
+//
+// # Storage layout
+//
+// Hypergraphs are stored in CSR (compressed sparse row) form: one flat
+// vertex array per direction plus an offset array, instead of a slice of
+// slices. Edge e's vertices are edgeVerts[edgeOff[e]:edgeOff[e+1]] and
+// vertex v's incident edges are incEdges[incOff[v]:incOff[v+1]]. The flat
+// layout is what lets the solvers stream over all incidences with
+// sequential memory access — the per-edge/per-vertex phases of the
+// algorithm are linear passes over these arrays — and makes the memory
+// footprint of an instance a closed-form function of the array lengths
+// (see MemoryBytes).
 package hypergraph
 
 import (
@@ -23,19 +35,28 @@ type VertexID int
 // EdgeID identifies a hyperedge. Edges are numbered 0..NumEdges-1.
 type EdgeID int
 
-// Hypergraph is an immutable weighted hypergraph. Construct one with a
-// Builder or a generator; the zero value is an empty hypergraph.
+// Hypergraph is an immutable weighted hypergraph in CSR layout. Construct
+// one with a Builder or a generator; the zero value is an empty hypergraph.
 type Hypergraph struct {
-	weights   []int64      // weights[v] > 0
-	edges     [][]VertexID // edges[e] = sorted distinct vertex ids
-	incidence [][]EdgeID   // incidence[v] = sorted edge ids containing v
-	rank      int          // max |edges[e]|, 0 if no edges
-	maxDegree int          // max |incidence[v]|, 0 if no edges
-	canon     []int        // cached canonical edge order (see Hash); nil until Extend computes it
-	// extended guards the spare capacity behind weights/edges: the first
-	// Extend from this graph claims it with a CAS and may append in place
-	// (the base graph only ever reads indices below its lengths); later
-	// Extends from the same base copy. Accessed atomically.
+	weights []int64 // weights[v] > 0
+
+	// Edge CSR: edge e covers edgeVerts[edgeOff[e]:edgeOff[e+1]], sorted
+	// distinct vertex ids. len(edgeOff) == NumEdges()+1 (nil when empty).
+	edgeOff   []int
+	edgeVerts []VertexID
+
+	// Incidence CSR: vertex v is in edges incEdges[incOff[v]:incOff[v+1]],
+	// ascending edge ids. len(incOff) == NumVertices()+1 (nil when empty).
+	incOff   []int
+	incEdges []EdgeID
+
+	rank      int   // max |edges[e]|, 0 if no edges
+	maxDegree int   // max |incidence[v]|, 0 if no edges
+	canon     []int // cached canonical edge order (see Hash); nil until Extend computes it
+	// extended guards the spare capacity behind weights/edgeOff/edgeVerts:
+	// the first Extend from this graph claims it with a CAS and may append
+	// in place (the base graph only ever reads indices below its lengths);
+	// later Extends from the same base copy. Accessed atomically.
 	extended uint32
 }
 
@@ -43,7 +64,12 @@ type Hypergraph struct {
 func (g *Hypergraph) NumVertices() int { return len(g.weights) }
 
 // NumEdges returns |E|.
-func (g *Hypergraph) NumEdges() int { return len(g.edges) }
+func (g *Hypergraph) NumEdges() int {
+	if len(g.edgeOff) == 0 {
+		return 0
+	}
+	return len(g.edgeOff) - 1
+}
 
 // Weight returns w(v).
 func (g *Hypergraph) Weight(v VertexID) int64 { return g.weights[v] }
@@ -55,26 +81,61 @@ func (g *Hypergraph) Weights() []int64 {
 	return out
 }
 
-// Edge returns the vertices of edge e. The returned slice must not be
-// modified; it is shared with the hypergraph to avoid copying on hot paths.
-func (g *Hypergraph) Edge(e EdgeID) []VertexID { return g.edges[e] }
-
-// EdgeCopy returns a fresh copy of the vertices of edge e.
-func (g *Hypergraph) EdgeCopy(e EdgeID) []VertexID {
-	out := make([]VertexID, len(g.edges[e]))
-	copy(out, g.edges[e])
-	return out
+// Edge returns the vertices of edge e as a view into the graph's shared CSR
+// arena. The returned slice must not be modified, and it is invalidated by
+// Extend: an extension may claim the arena and append into the same backing
+// array, so a view retained across an Extend aliases storage that now
+// belongs to the extended graph. Use the view immediately, or copy it with
+// EdgeCopy if it must outlive the next Extend.
+func (g *Hypergraph) Edge(e EdgeID) []VertexID {
+	a, b := g.edgeOff[e], g.edgeOff[e+1]
+	return g.edgeVerts[a:b:b]
 }
 
-// Incident returns the edges containing v. The returned slice must not be
-// modified; it is shared with the hypergraph.
-func (g *Hypergraph) Incident(v VertexID) []EdgeID { return g.incidence[v] }
+// EdgeCopy returns a fresh copy of the vertices of edge e; safe to retain.
+func (g *Hypergraph) EdgeCopy(e EdgeID) []VertexID {
+	return append([]VertexID(nil), g.Edge(e)...)
+}
+
+// Incident returns the edges containing v as a view into the graph's shared
+// CSR arena, ascending. The same aliasing contract as Edge applies: the
+// view must not be modified and is invalidated by Extend — copy with
+// IncidentCopy to retain it across one.
+func (g *Hypergraph) Incident(v VertexID) []EdgeID {
+	a, b := g.incOff[v], g.incOff[v+1]
+	return g.incEdges[a:b:b]
+}
+
+// IncidentCopy returns a fresh copy of the edges containing v; safe to
+// retain.
+func (g *Hypergraph) IncidentCopy(v VertexID) []EdgeID {
+	return append([]EdgeID(nil), g.Incident(v)...)
+}
 
 // Degree returns |E(v)|, the number of edges containing v.
-func (g *Hypergraph) Degree(v VertexID) int { return len(g.incidence[v]) }
+func (g *Hypergraph) Degree(v VertexID) int { return g.incOff[v+1] - g.incOff[v] }
+
+// EdgeOffsets returns the edge CSR offset array as a read-only view: edge
+// e's vertices occupy positions [off[e], off[e+1]) of the edge-vertex
+// array, so off is also the cumulative edge volume the flat runner
+// volume-balances its chunks with. len(off) == NumEdges()+1, or 0 for the
+// zero-value graph. The Edge aliasing contract applies: do not modify, do
+// not retain across an Extend.
+func (g *Hypergraph) EdgeOffsets() []int {
+	return g.edgeOff[:len(g.edgeOff):len(g.edgeOff)]
+}
+
+// IncidenceOffsets returns the incidence CSR offset array as a read-only
+// view: vertex v's incident edges occupy positions [off[v], off[v+1]) of
+// the incidence array. len(off) == NumVertices()+1, or 0 for the
+// zero-value graph. The Incident aliasing contract applies: do not modify,
+// do not retain across an Extend.
+func (g *Hypergraph) IncidenceOffsets() []int {
+	return g.incOff[:len(g.incOff):len(g.incOff)]
+}
 
 // EdgeSize returns |e|.
-func (g *Hypergraph) EdgeSize(e EdgeID) int { return len(g.edges[e]) }
+func (g *Hypergraph) EdgeSize(e EdgeID) int { return g.edgeOff[e+1] - g.edgeOff[e] }
 
 // Rank returns f, the maximum edge cardinality (0 for an edgeless graph).
 func (g *Hypergraph) Rank() int { return g.rank }
@@ -86,12 +147,24 @@ func (g *Hypergraph) MaxDegree() int { return g.maxDegree }
 // degree used when the multiplier α is chosen per edge (Theorem 9 remark).
 func (g *Hypergraph) LocalMaxDegree(e EdgeID) int {
 	d := 0
-	for _, v := range g.edges[e] {
-		if len(g.incidence[v]) > d {
-			d = len(g.incidence[v])
+	for _, v := range g.Edge(e) {
+		if dv := g.Degree(v); dv > d {
+			d = dv
 		}
 	}
 	return d
+}
+
+// MemoryBytes estimates the heap footprint of the instance from its CSR
+// array lengths (8 bytes per id, offset and weight). It deliberately counts
+// lengths, not capacities: along a claimed extension chain spare capacity is
+// shared between graphs, and charging it to every graph would double-count.
+// The coverd session registry uses this estimate for byte-budgeted
+// eviction.
+func (g *Hypergraph) MemoryBytes() int64 {
+	words := len(g.weights) + len(g.edgeOff) + len(g.edgeVerts) +
+		len(g.incOff) + len(g.incEdges) + len(g.canon)
+	return int64(8 * words)
 }
 
 // MinWeight returns min_v w(v), or 0 if there are no vertices.
@@ -161,9 +234,9 @@ func (g *Hypergraph) IsCover(cover []VertexID) bool {
 			in[v] = true
 		}
 	}
-	for _, e := range g.edges {
+	for e, m := 0, g.NumEdges(); e < m; e++ {
 		stabbed := false
-		for _, v := range e {
+		for _, v := range g.edgeVerts[g.edgeOff[e]:g.edgeOff[e+1]] {
 			if in[v] {
 				stabbed = true
 				break
@@ -185,9 +258,9 @@ func (g *Hypergraph) UncoveredEdges(cover []VertexID) []EdgeID {
 		}
 	}
 	var out []EdgeID
-	for e, vs := range g.edges {
+	for e, m := 0, g.NumEdges(); e < m; e++ {
 		stabbed := false
-		for _, v := range vs {
+		for _, v := range g.edgeVerts[g.edgeOff[e]:g.edgeOff[e+1]] {
 			if in[v] {
 				stabbed = true
 				break
@@ -200,23 +273,19 @@ func (g *Hypergraph) UncoveredEdges(cover []VertexID) []EdgeID {
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The copy shares no storage with g, so it
+// is unaffected by later extensions of g (and vice versa).
 func (g *Hypergraph) Clone() *Hypergraph {
 	h := &Hypergraph{
-		weights:   make([]int64, len(g.weights)),
-		edges:     make([][]VertexID, len(g.edges)),
-		incidence: make([][]EdgeID, len(g.incidence)),
+		weights:   append([]int64(nil), g.weights...),
+		edgeOff:   append([]int(nil), g.edgeOff...),
+		edgeVerts: append([]VertexID(nil), g.edgeVerts...),
+		incOff:    append([]int(nil), g.incOff...),
+		incEdges:  append([]EdgeID(nil), g.incEdges...),
 		rank:      g.rank,
 		maxDegree: g.maxDegree,
+		canon:     append([]int(nil), g.canon...),
 	}
-	copy(h.weights, g.weights)
-	for i, e := range g.edges {
-		h.edges[i] = append([]VertexID(nil), e...)
-	}
-	for i, inc := range g.incidence {
-		h.incidence[i] = append([]EdgeID(nil), inc...)
-	}
-	h.canon = append([]int(nil), g.canon...)
 	return h
 }
 
@@ -226,42 +295,52 @@ func (g *Hypergraph) String() string {
 		g.NumVertices(), g.NumEdges(), g.Rank(), g.MaxDegree(), g.WeightSpread())
 }
 
-// buildIncidence computes incidence lists, rank and max degree from edges.
-// It assumes edges hold sorted, distinct, in-range vertex ids. All lists
-// are carved out of one shared arena (two allocations total, full-capacity
-// slices so an accidental append copies instead of corrupting a neighbor) —
-// at incremental-session scale the rebuild after every delta batch would
-// otherwise allocate one slice per vertex.
+// setEdgesFromRows fills the edge CSR from validated rows (sorted, distinct,
+// in-range vertex ids).
+func (g *Hypergraph) setEdgesFromRows(rows [][]VertexID) {
+	total := 0
+	for _, vs := range rows {
+		total += len(vs)
+	}
+	g.edgeOff = make([]int, len(rows)+1)
+	g.edgeVerts = make([]VertexID, 0, total)
+	for i, vs := range rows {
+		g.edgeVerts = append(g.edgeVerts, vs...)
+		g.edgeOff[i+1] = len(g.edgeVerts)
+	}
+}
+
+// buildIncidence computes the incidence CSR, rank and max degree from the
+// edge CSR with one counting pass: a prefix-sum over per-vertex degrees
+// carves incEdges, then a walk over the edges in ascending id order fills
+// each vertex's range — already sorted, no per-vertex allocation.
 func (g *Hypergraph) buildIncidence() {
 	n := len(g.weights)
-	g.incidence = make([][]EdgeID, n)
+	m := g.NumEdges()
 	g.rank = 0
-	totalInc := 0
-	for _, vs := range g.edges {
-		if len(vs) > g.rank {
-			g.rank = len(vs)
+	for e := 0; e < m; e++ {
+		if sz := g.edgeOff[e+1] - g.edgeOff[e]; sz > g.rank {
+			g.rank = sz
 		}
-		totalInc += len(vs)
 	}
 	counts := make([]int, n)
-	for _, vs := range g.edges {
-		for _, v := range vs {
-			counts[v]++
-		}
+	for _, v := range g.edgeVerts {
+		counts[v]++
 	}
-	arena := make([]EdgeID, totalInc)
+	g.incOff = make([]int, n+1)
 	g.maxDegree = 0
-	off := 0
 	for v := 0; v < n; v++ {
-		g.incidence[v] = arena[off : off : off+counts[v]]
-		off += counts[v]
+		g.incOff[v+1] = g.incOff[v] + counts[v]
 		if counts[v] > g.maxDegree {
 			g.maxDegree = counts[v]
 		}
 	}
-	for e, vs := range g.edges {
-		for _, v := range vs {
-			g.incidence[v] = append(g.incidence[v], EdgeID(e))
+	g.incEdges = make([]EdgeID, len(g.edgeVerts))
+	copy(counts, g.incOff[:n]) // counts now holds the write cursor per vertex
+	for e := 0; e < m; e++ {
+		for _, v := range g.edgeVerts[g.edgeOff[e]:g.edgeOff[e+1]] {
+			g.incEdges[counts[v]] = EdgeID(e)
+			counts[v]++
 		}
 	}
 }

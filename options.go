@@ -19,6 +19,12 @@ type solveConfig struct {
 	// sessions use it to decide between the lockstep simulator (default)
 	// and the message protocol on the selected engine.
 	congest bool
+	// flat routes Solve and session residual re-solves through the
+	// chunk-parallel flat runner instead of the sequential lockstep
+	// simulator. Results are bit-identical; only speed changes.
+	flat bool
+	// parallelism is the flat runner's worker count (0 = GOMAXPROCS).
+	parallelism int
 }
 
 type engineKind int
@@ -93,6 +99,28 @@ func WithTrace() Option {
 // for verification runs; costs O(n+m) per iteration.
 func WithInvariantChecks() Option {
 	return optionFunc(func(c *solveConfig) { c.core.CheckInvariants = true })
+}
+
+// WithFlatEngine makes Solve, NewSession and every Session.Update run the
+// chunk-parallel flat solver: each vertex/edge phase of the lockstep
+// algorithm becomes a parallel-for over contiguous ranges of the instance's
+// CSR arrays, with a deterministic reduction that keeps the result
+// bit-identical to the default simulator (and therefore to every CONGEST
+// engine) for any worker count. This is the production fast path — it runs
+// the algorithm, not the message simulation — and solve latency tracks
+// hardware cores. Combine with WithSolverParallelism to pin the worker
+// count. Ignored by SolveCongest (which always runs the message protocol);
+// exact-arithmetic runs fall back to the sequential exact runner.
+func WithFlatEngine() Option {
+	return optionFunc(func(c *solveConfig) { c.flat = true })
+}
+
+// WithSolverParallelism sets the flat runner's worker count; n ≤ 0 or
+// omitting the option means GOMAXPROCS. Implies nothing about which engine
+// runs: combine with WithFlatEngine. The result is identical for every n —
+// only the wall-clock changes.
+func WithSolverParallelism(n int) Option {
+	return optionFunc(func(c *solveConfig) { c.parallelism = n })
 }
 
 // WithSequentialEngine explicitly selects the deterministic sequential

@@ -16,6 +16,11 @@ import (
 const (
 	// EngineSim is the fast lockstep simulator (distcover.Solve); default.
 	EngineSim = "sim"
+	// EngineFlat is the chunk-parallel flat solver: the lockstep algorithm
+	// over the instance's CSR arrays with one worker per core. Results are
+	// bit-identical to EngineSim (the two share a cache identity); this is
+	// the engine for production solve latency. See SolveOptions.Parallelism.
+	EngineFlat = "flat"
 	// EngineCongest runs the real message protocol on the deterministic
 	// sequential CONGEST engine (distcover.SolveCongest).
 	EngineCongest = "congest"
@@ -51,6 +56,9 @@ type SolveOptions struct {
 	// Shards sets the node-partition count for EngineCongestSharded
 	// (0 = one shard per CPU). Ignored by the other engines.
 	Shards int `json:"shards,omitempty"`
+	// Parallelism sets the worker count for EngineFlat (0 = one worker per
+	// CPU). Ignored by the other engines; never changes results.
+	Parallelism int `json:"parallelism,omitempty"`
 	// NoCache bypasses the server's instance-result cache for this request
 	// (the result is still stored for future requests).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -65,11 +73,17 @@ func (o SolveOptions) Fingerprint() string {
 	if eng == "" {
 		eng = EngineSim
 	}
-	// The in-memory congest engines produce identical solutions AND
-	// identical communication stats, so they share one cache identity
-	// (Shards is likewise excluded: it changes scheduling, not results).
-	// The TCP engine stays distinct: it additionally reports WireBytes,
-	// which a cached in-memory result would be missing.
+	// The flat engine is bit-identical to the simulator (enforced by the
+	// engine-equivalence property test), so the two share one cache
+	// identity; Parallelism changes scheduling, not results, and is
+	// likewise excluded. The in-memory congest engines produce identical
+	// solutions AND identical communication stats, so they share one cache
+	// identity too (Shards excluded for the same reason). The TCP engine
+	// stays distinct: it additionally reports WireBytes, which a cached
+	// in-memory result would be missing.
+	if eng == EngineFlat {
+		eng = EngineSim
+	}
 	if eng == EngineCongestParallel || eng == EngineCongestSharded {
 		eng = EngineCongest
 	}
@@ -230,6 +244,9 @@ type Health struct {
 	QueueCapacity int    `json:"queue_capacity"`
 	CacheEntries  int    `json:"cache_entries"`
 	Sessions      int    `json:"sessions"`
+	// SessionBytes is the estimated total heap footprint of live sessions,
+	// the quantity the server's byte-budgeted eviction bounds.
+	SessionBytes int64 `json:"session_bytes"`
 }
 
 // Error is the JSON error envelope for non-2xx responses.

@@ -246,6 +246,9 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.recordSessionUpdate()
+	// The delta grew the session's instance: re-weigh it against the byte
+	// budget (this can evict colder sessions, or even this one).
+	s.sessions.refresh(entry)
 	writeJSON(w, http.StatusOK, &api.SessionUpdateResult{
 		NewVertices:      j.upd.NewVertices,
 		NewEdges:         j.upd.NewEdges,
@@ -287,6 +290,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueueCapacity: s.queue.capacity(),
 		CacheEntries:  s.cache.len(),
 		Sessions:      s.sessions.len(),
+		SessionBytes:  s.sessions.totalBytes(),
 	})
 }
 
@@ -298,6 +302,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"coverd_workers", "Configured worker pool size.", float64(s.cfg.Workers)},
 		{"coverd_cache_entries", "Entries in the instance-result cache.", float64(s.cache.len())},
 		{"coverd_sessions", "Live incremental sessions.", float64(s.sessions.len())},
+		{"coverd_session_bytes", "Estimated heap footprint of all live sessions.", float64(s.sessions.totalBytes())},
+		{"coverd_session_bytes_budget", "Configured session memory budget (0 = unbounded).", float64(s.cfg.SessionMemoryBudget)},
 	})
 }
 

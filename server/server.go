@@ -57,11 +57,17 @@ type Config struct {
 	// JobCapacity bounds how many async jobs are retained for polling
 	// (default 4096).
 	JobCapacity int
-	// SessionCapacity bounds how many incremental sessions are kept live;
-	// beyond it the least recently used session is evicted and closed
-	// (default 128). Sessions pin whole instances in memory, so the bound
-	// is much tighter than the job registry's.
+	// SessionCapacity bounds how many incremental sessions are kept live
+	// (default 128); a secondary cap on registry bookkeeping.
 	SessionCapacity int
+	// SessionMemoryBudget bounds the total estimated heap footprint of all
+	// live sessions in bytes (default 256 MiB; negative disables the byte
+	// bound). Sessions are weighed by Session.MemoryBytes — instance CSR
+	// arrays plus carried solver state — and the least recently used are
+	// evicted and closed when the total exceeds the budget, including when
+	// an update grows a session past it. This is the primary session bound:
+	// it holds under mixed instance sizes where a plain count cannot.
+	SessionMemoryBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +95,12 @@ func (c Config) withDefaults() Config {
 	if c.SessionCapacity <= 0 {
 		c.SessionCapacity = 128
 	}
+	switch {
+	case c.SessionMemoryBudget == 0:
+		c.SessionMemoryBudget = 256 << 20
+	case c.SessionMemoryBudget < 0:
+		c.SessionMemoryBudget = 0
+	}
 	return c
 }
 
@@ -114,7 +126,7 @@ func New(cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheSize),
 		metrics:  NewMetrics(),
 		jobs:     newJobRegistry(cfg.JobCapacity),
-		sessions: newSessionRegistry(cfg.SessionCapacity),
+		sessions: newSessionRegistry(cfg.SessionCapacity, cfg.SessionMemoryBudget),
 	}
 	s.pool = newWorkerPool(cfg.Workers, s.queue, s.cache, s.metrics)
 	s.pool.start()

@@ -229,6 +229,24 @@ func TestSolveSyncAndEngines(t *testing.T) {
 		}
 	}
 
+	// The flat engine must agree with sim exactly — and because the two
+	// share a cache identity, the flat solve of an instance the simulator
+	// already answered is a cache hit.
+	flatRes, err := c.SolveRequest(ctx, api.SolveRequest{
+		Instance: raw,
+		Options:  api.SolveOptions{Epsilon: 0.5, Engine: api.EngineFlat, Parallelism: 3},
+	})
+	if err != nil {
+		t.Fatalf("flat solve: %v", err)
+	}
+	if flatRes.Weight != simRes.Weight || flatRes.DualLowerBound != simRes.DualLowerBound {
+		t.Fatalf("flat result (%d, %g) differs from sim (%d, %g)",
+			flatRes.Weight, flatRes.DualLowerBound, simRes.Weight, simRes.DualLowerBound)
+	}
+	if !flatRes.Cached {
+		t.Fatal("flat solve should share the sim cache identity")
+	}
+
 	if _, err := c.SolveRequest(ctx, api.SolveRequest{
 		Instance: raw, Options: api.SolveOptions{Engine: "warp-drive"},
 	}); err == nil {

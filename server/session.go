@@ -13,6 +13,10 @@ type sessionEntry struct {
 	id   string
 	sess *distcover.Session
 	opts api.SolveOptions
+	// bytes is the session's estimated heap footprint (instance CSR arrays
+	// plus carried solver state), as of the last add/refresh. Guarded by
+	// the registry mutex.
+	bytes int64
 }
 
 // info snapshots the externally visible session state. One State() call
@@ -52,46 +56,88 @@ func (e *sessionEntry) info() *api.SessionInfo {
 	}
 }
 
-// sessionRegistry tracks live sessions by id, bounded like the job
-// registry: beyond capacity the least recently used session is evicted and
-// closed, so a server under sustained session churn cannot grow without
-// limit (sessions pin whole instances in memory, unlike finished jobs).
+// sessionRegistry tracks live sessions by id, bounded by a memory budget:
+// every session is weighed by its estimated byte footprint
+// (Session.MemoryBytes — the instance's CSR array lengths plus carried
+// solver state), and whenever the total exceeds the budget the least
+// recently used sessions are evicted and closed. Sessions pin whole
+// instances in memory, so weighing them — rather than counting them — is
+// what actually bounds the server under mixed instance sizes: one
+// million-edge session costs as much as thousands of small ones. A count
+// cap is kept as a secondary bound on registry bookkeeping. Deltas grow
+// sessions after admission, so updates re-weigh their session and can
+// trigger eviction too.
 type sessionRegistry struct {
 	mu       sync.Mutex
-	capacity int
+	capacity int        // max live sessions (secondary bound)
+	budget   int64      // max total estimated bytes; the primary bound
+	bytes    int64      // current total estimate
 	order    *list.List // front = most recently used; values are *sessionEntry
 	byID     map[string]*list.Element
 }
 
-func newSessionRegistry(capacity int) *sessionRegistry {
+func newSessionRegistry(capacity int, budget int64) *sessionRegistry {
 	return &sessionRegistry{
 		capacity: capacity,
+		budget:   budget,
 		order:    list.New(),
 		byID:     make(map[string]*list.Element),
 	}
 }
 
 // add registers a session under a fresh id, evicting LRU entries beyond
-// capacity. Evicted sessions are closed only after the registry lock is
-// released: Close waits for an in-flight Update, and holding r.mu through
-// a residual solve would stall every endpoint that touches the registry.
+// the byte budget or the count cap. Evicted sessions are closed only after
+// the registry lock is released: Close waits for an in-flight Update, and
+// holding r.mu through a residual solve would stall every endpoint that
+// touches the registry.
 func (r *sessionRegistry) add(sess *distcover.Session, opts api.SolveOptions) *sessionEntry {
-	e := &sessionEntry{id: newJobID(), sess: sess, opts: opts}
-	var evicted []*sessionEntry
+	e := &sessionEntry{id: newJobID(), sess: sess, opts: opts, bytes: sess.MemoryBytes()}
 	r.mu.Lock()
 	r.byID[e.id] = r.order.PushFront(e)
-	for r.order.Len() > r.capacity {
-		last := r.order.Back()
-		r.order.Remove(last)
-		old := last.Value.(*sessionEntry)
-		delete(r.byID, old.id)
-		evicted = append(evicted, old)
-	}
+	r.bytes += e.bytes
+	evicted := r.evictLocked()
 	r.mu.Unlock()
 	for _, old := range evicted {
 		old.sess.Close()
 	}
 	return e
+}
+
+// refresh re-weighs a session after an update grew its instance, evicting
+// LRU entries if the growth pushed the total past the budget. The newest
+// estimate is taken before the registry lock so the session's own mutex is
+// never held inside it.
+func (r *sessionRegistry) refresh(e *sessionEntry) {
+	bytes := e.sess.MemoryBytes()
+	r.mu.Lock()
+	if _, ok := r.byID[e.id]; !ok {
+		r.mu.Unlock()
+		return // already evicted or removed
+	}
+	r.bytes += bytes - e.bytes
+	e.bytes = bytes
+	evicted := r.evictLocked()
+	r.mu.Unlock()
+	for _, old := range evicted {
+		old.sess.Close()
+	}
+}
+
+// evictLocked pops LRU entries until both bounds hold, always keeping at
+// least one session (a single session larger than the whole budget is the
+// caller's workload; refusing it would make the endpoint useless).
+func (r *sessionRegistry) evictLocked() []*sessionEntry {
+	var evicted []*sessionEntry
+	for r.order.Len() > 1 &&
+		(r.order.Len() > r.capacity || (r.budget > 0 && r.bytes > r.budget)) {
+		last := r.order.Back()
+		r.order.Remove(last)
+		old := last.Value.(*sessionEntry)
+		delete(r.byID, old.id)
+		r.bytes -= old.bytes
+		evicted = append(evicted, old)
+	}
+	return evicted
 }
 
 // get returns the session and marks it most recently used.
@@ -113,6 +159,7 @@ func (r *sessionRegistry) remove(id string) bool {
 	if ok {
 		r.order.Remove(el)
 		delete(r.byID, id)
+		r.bytes -= el.Value.(*sessionEntry).bytes
 	}
 	r.mu.Unlock()
 	if !ok {
@@ -127,4 +174,11 @@ func (r *sessionRegistry) len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.order.Len()
+}
+
+// totalBytes returns the current total estimated session footprint.
+func (r *sessionRegistry) totalBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
 }

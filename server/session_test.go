@@ -154,6 +154,62 @@ func TestSessionErrorsAndEviction(t *testing.T) {
 	}
 }
 
+// TestSessionByteBudgetEviction exercises the size-weighted registry bound:
+// sessions are weighed by their estimated byte footprint, so a budget that
+// fits only one of these instances evicts the LRU session on the next
+// create — and a delta batch that grows a session re-weighs it against the
+// budget too.
+func TestSessionByteBudgetEviction(t *testing.T) {
+	// Each 500-vertex/1000-edge f=3 session weighs tens of KiB; a 64 KiB
+	// budget holds one of them but not two.
+	_, c := newTestServer(t, server.Config{Workers: 2, SessionMemoryBudget: 64 << 10})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	inst := genInstance(t, 500, 1000, 3, 11)
+
+	a, err := c.CreateSession(ctx, inst, api.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SessionBytes <= 0 {
+		t.Fatalf("health reports no session bytes: %+v", h)
+	}
+	b, err := c.CreateSession(ctx, inst, api.SolveOptions{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session(ctx, a.ID); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("byte budget did not evict the LRU session: %v", err)
+	}
+	if _, err := c.Session(ctx, b.ID); err != nil {
+		t.Fatalf("newest session must survive even over budget: %v", err)
+	}
+
+	// Growing the surviving session re-weighs it; the registry keeps the
+	// last session alive (a lone session over budget is the workload).
+	var d api.SessionDelta
+	for i := 0; i < 200; i++ {
+		d.Edges = append(d.Edges, []int{i % 500, (i + 3) % 500, (i + 9) % 500})
+	}
+	if _, err := c.UpdateSession(ctx, b.ID, d); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Sessions != 1 {
+		t.Fatalf("sessions = %d, want 1", h2.Sessions)
+	}
+	if _, err := c.Session(ctx, b.ID); err != nil {
+		t.Fatalf("grown session evicted despite being the only one: %v", err)
+	}
+}
+
 // TestSessionConcurrentClients hammers one session from many goroutines
 // while others read it; run under -race in CI.
 func TestSessionConcurrentClients(t *testing.T) {

@@ -174,6 +174,8 @@ func sessionLibOptions(o api.SolveOptions) ([]distcover.Option, error) {
 	opts := baseLibOptions(o)
 	switch o.Engine {
 	case "", api.EngineSim:
+	case api.EngineFlat:
+		opts = append(opts, distcover.WithFlatEngine(), distcover.WithSolverParallelism(o.Parallelism))
 	case api.EngineCongest:
 		opts = append(opts, distcover.WithSequentialEngine())
 	case api.EngineCongestParallel:
@@ -213,7 +215,10 @@ func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*a
 	}
 
 	switch o.Engine {
-	case "", api.EngineSim:
+	case "", api.EngineSim, api.EngineFlat:
+		if o.Engine == api.EngineFlat {
+			opts = append(opts, distcover.WithFlatEngine(), distcover.WithSolverParallelism(o.Parallelism))
+		}
 		sol, err := distcover.Solve(inst, opts...)
 		if err != nil {
 			return nil, err

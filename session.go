@@ -72,12 +72,14 @@ var ErrSessionClosed = errors.New("distcover: session closed")
 // clean per-solve (f+ε) guarantee relaxes to f(1+ε) only because vertices
 // that joined under an earlier, smaller rank paid the earlier threshold.
 //
-// The default execution path is the lockstep simulator (like Solve). Give
-// an engine option — WithSequentialEngine, WithParallelEngine,
-// WithShardedEngine, WithTCPEngine — to run both the initial solve and
-// every residual re-solve as the real message protocol on that engine; the
-// residual network contains only the dirty vertices and edges, so on the
-// sharded engine only the shards that received new work step at all.
+// The default execution path is the lockstep simulator (like Solve).
+// WithFlatEngine routes the initial solve and every residual re-solve
+// through the chunk-parallel flat runner instead (bit-identical results,
+// wall-clock scaling with cores). Give a CONGEST engine option —
+// WithSequentialEngine, WithParallelEngine, WithShardedEngine,
+// WithTCPEngine — to run both as the real message protocol on that engine;
+// the residual network contains only the dirty vertices and edges, so on
+// the sharded engine only the shards that received new work step at all.
 //
 // Sessions are safe for concurrent use; updates serialize internally.
 type Session struct {
@@ -112,14 +114,17 @@ func NewSession(inst *Instance, opts ...Option) (*Session, error) {
 	s := &Session{cfg: cfg, g: inst.g}
 	var res *core.Result
 	var err error
-	if cfg.congest {
+	switch {
+	case cfg.congest:
 		var metrics congest.Metrics
 		res, metrics, err = core.RunCongest(s.g, cfg.core, cfg.buildEngine(), congest.Options{Validate: true})
 		if err == nil {
 			s.congest = &CongestStats{}
 			s.addCongest(metrics)
 		}
-	} else {
+	case cfg.flat:
+		res, err = core.RunFlat(s.g, cfg.core, cfg.parallelism)
+	default:
 		res, err = core.Run(s.g, cfg.core)
 	}
 	if err != nil {
@@ -221,7 +226,8 @@ func (s *Session) Update(d Delta) (*UpdateStats, error) {
 					carry[i] = s.load[v]
 				}
 			}
-			if s.cfg.congest {
+			switch {
+			case s.cfg.congest:
 				// The CONGEST bit budget is a property of the whole system,
 				// not of the (small) residual sub-network: messages carry
 				// weights of the full instance, so size the O(log n) budget
@@ -236,7 +242,9 @@ func (s *Session) Update(d Delta) (*UpdateStats, error) {
 				if err == nil {
 					s.addCongest(metrics)
 				}
-			} else {
+			case s.cfg.flat:
+				res, err = core.RunResidualFlat(rg, s.cfg.core, carry, s.cfg.parallelism)
+			default:
 				res, err = core.RunResidual(rg, s.cfg.core, carry)
 			}
 		}
@@ -402,6 +410,19 @@ func (s *Session) Hash() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.g.Hash()
+}
+
+// MemoryBytes estimates the session's heap footprint: the CSR arrays of
+// the current instance plus the per-vertex and per-edge state vectors the
+// session carries between updates. The coverd session registry uses this
+// estimate for byte-budgeted eviction, so mixed instance sizes are bounded
+// by actual memory rather than a session count.
+func (s *Session) MemoryBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// inCover is 1 byte per vertex; load, dual and remap are 8.
+	state := int64(len(s.inCover)) + 8*int64(len(s.load)+len(s.dual)+len(s.remap))
+	return s.g.MemoryBytes() + state
 }
 
 // Updates returns the number of applied delta batches.
