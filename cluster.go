@@ -1,0 +1,71 @@
+package distcover
+
+import (
+	"fmt"
+
+	"distcover/internal/cluster"
+	"distcover/internal/core"
+	"distcover/internal/hypergraph"
+)
+
+// Cluster errors, re-exported so callers can errors.Is against the public
+// package.
+var (
+	// ErrPeerLost indicates a cluster peer died, was killed or timed out
+	// mid-operation. The coordinator-side state (including any Session the
+	// operation ran under) is unchanged; restart or replace the peer and
+	// retry.
+	ErrPeerLost = cluster.ErrPeerLost
+	// ErrPeerFailed indicates a peer reported a solver-level failure.
+	ErrPeerFailed = cluster.ErrPeerFailed
+	// ErrNoPeers indicates a cluster operation without configured peers.
+	ErrNoPeers = cluster.ErrNoPeers
+)
+
+// ClusterSolve runs Algorithm MWHVC partitioned across the given coverd
+// peer processes: the instance's CSR vertex range is split into contiguous
+// partitions (one per peer unless WithClusterPartitions says otherwise),
+// each peer executes the lockstep solver over its range, and only
+// boundary-vertex levels and join/raise flags cross the wire between
+// iterations. The result is bit-identical to Solve/WithFlatEngine on the
+// undivided instance — the cluster equivalence property test enforces it —
+// so clustering changes where the work runs, never what it returns.
+//
+// Peers are coverd processes started with -peer-listen (or any
+// cluster.Peer). A dead or unreachable peer surfaces as ErrPeerLost;
+// nothing is partially committed and the call can be retried once the peer
+// is back.
+func ClusterSolve(in *Instance, peers []string, opts ...Option) (*Solution, error) {
+	if in == nil {
+		return nil, ErrNilInstance
+	}
+	cfg := optConfig(opts)
+	cfg.clusterPeers = append([]string(nil), peers...)
+	res, err := clusterRun(in.g, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return solutionFromResult(res), nil
+}
+
+// clusterRun dispatches a (possibly warm-started) solve to the configured
+// cluster peers.
+func clusterRun(g *hypergraph.Hypergraph, cfg solveConfig, carry []float64) (*core.Result, error) {
+	ccfg := cluster.Config{
+		Peers:      cfg.clusterPeers,
+		Partitions: cfg.clusterParts,
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	if carry == nil {
+		res, err = cluster.Solve(g, cfg.core, ccfg)
+	} else {
+		res, err = cluster.SolveResidual(g, cfg.core, carry, ccfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distcover: cluster: %w", err)
+	}
+	return res, nil
+}

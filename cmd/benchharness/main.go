@@ -1,10 +1,10 @@
 // Command benchharness regenerates the paper's evaluation artifacts: the
 // measured versions of Table 1 and Table 2 and the theorem-shape
-// experiments E1–E13 (run with -list for the index).
+// experiments E1–E14 (run with -list for the index).
 //
 // Usage:
 //
-//	benchharness [-exp all|T1|T2|E1..E13] [-quick] [-seed N] [-list]
+//	benchharness [-exp all|T1|T2|E1..E14] [-quick] [-seed N] [-list]
 //	             [-json file] [-baseline file] [-writebaseline file]
 //	             [-tol frac] [-portable] [-suite names]
 //	             [-cpuprofile file] [-memprofile file]
@@ -15,8 +15,8 @@
 // be diffed to track the performance trajectory across changes.
 //
 // -baseline re-measures the selected measurement suites (engine
-// throughput, flat-runner throughput, incremental sessions, allocation
-// counts — see -suite) and compares the readings against the committed
+// throughput, flat-runner throughput, incremental sessions, cluster
+// solves, allocation counts — see -suite) and compares the readings against the committed
 // baseline file, exiting non-zero when any regresses beyond -tol
 // (default: the baseline's own tolerance). -portable restricts the
 // comparison to machine-independent readings (rounds, message counts,
@@ -100,7 +100,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E13)")
+		exp        = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E14)")
 		quick      = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -109,7 +109,7 @@ func run() error {
 		writeBase  = flag.String("writebaseline", "", "measure engine throughput and merge the readings into this baseline file")
 		tol        = flag.Float64("tol", 0, "regression tolerance as a fraction; >0 overrides the baseline's default and per-entry tolerances (0 = use them)")
 		portable   = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, iteration counts, speedup ratios, alloc counts), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
-		suites     = flag.String("suite", "engines,flat,sessions,allocs", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, allocs = hot-path allocation counts)")
+		suites     = flag.String("suite", "engines,flat,sessions,cluster,allocs", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, cluster = E14 multi-process, allocs = hot-path allocation counts)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured work to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
@@ -119,6 +119,7 @@ func run() error {
 			fmt.Printf("%-3s %s\n", e.ID, e.Title)
 		}
 		fmt.Printf("%-3s %s\n", "E12", "Incremental sessions: residual re-solve vs from-scratch (lives outside the bench registry; see -suite)")
+		fmt.Printf("%-3s %s\n", "E14", "Multi-process cover cluster vs single-process flat (lives outside the bench registry; see -suite)")
 		return nil
 	}
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
@@ -138,11 +139,18 @@ func run() error {
 	switch {
 	case strings.EqualFold(*exp, "E12"):
 		tables, err = sessions.IncrementalSessions(cfg)
+	case strings.EqualFold(*exp, "E14"):
+		tables, err = sessions.ClusterExperiment(cfg)
 	case strings.EqualFold(*exp, "all"):
 		tables, err = bench.Run(*exp, cfg)
 		if err == nil {
 			var extra []bench.Table
 			extra, err = sessions.IncrementalSessions(cfg)
+			tables = append(tables, extra...)
+		}
+		if err == nil {
+			var extra []bench.Table
+			extra, err = sessions.ClusterExperiment(cfg)
 			tables = append(tables, extra...)
 		}
 	default:
@@ -175,6 +183,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 		"engines":  bench.MeasureEngines,
 		"flat":     bench.MeasureFlat,
 		"sessions": sessions.MeasureIncremental,
+		"cluster":  sessions.MeasureCluster,
 		"allocs":   sessions.MeasureAllocs,
 	}
 	var selected []suite
@@ -185,7 +194,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 		}
 		run, ok := known[name]
 		if !ok {
-			return fmt.Errorf("-suite: unknown suite %q (have engines, flat, sessions, allocs)", name)
+			return fmt.Errorf("-suite: unknown suite %q (have engines, flat, sessions, cluster, allocs)", name)
 		}
 		selected = append(selected, suite{name: name, run: run})
 	}

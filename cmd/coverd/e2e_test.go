@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distcover"
+	"distcover/client"
+	"distcover/server/api"
+)
+
+// TestClusterE2EProcesses is the CI cluster job: it builds the coverd
+// binary, spawns three real daemon processes — two pure peer workers and
+// one coordinator configured with -peers — then solves an instance and
+// streams three delta batches through the coordinator's HTTP API with the
+// "cluster" engine, comparing every step against the coordinator's own
+// single-process flat engine. Gated behind COVERD_CLUSTER_E2E=1 because it
+// compiles and forks; `go test ./cmd/coverd` stays fast everywhere else.
+func TestClusterE2EProcesses(t *testing.T) {
+	if os.Getenv("COVERD_CLUSTER_E2E") != "1" {
+		t.Skip("set COVERD_CLUSTER_E2E=1 to run the multi-process cluster E2E")
+	}
+	bin := filepath.Join(t.TempDir(), "coverd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build coverd: %v", err)
+	}
+
+	// Two workers serving only the peer protocol (HTTP on an ephemeral
+	// port we ignore), everything on 127.0.0.1:0 — no fixed ports.
+	peer1 := startCoverd(t, bin, "-addr", "127.0.0.1:0", "-peer-listen", "127.0.0.1:0")
+	peer2 := startCoverd(t, bin, "-addr", "127.0.0.1:0", "-peer-listen", "127.0.0.1:0")
+	coord := startCoverd(t, bin, "-addr", "127.0.0.1:0", "-peer-listen", "127.0.0.1:0",
+		"-peers", peer1.peerAddr+","+peer2.peerAddr)
+
+	c := client.New("http://" + coord.httpAddr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	weights := make([]int64, 400)
+	state := uint64(0xC0FFEE)
+	next := func(bound int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(bound))
+	}
+	for i := range weights {
+		weights[i] = int64(1 + next(300))
+	}
+	edges := make([][]int, 1200)
+	for e := range edges {
+		edges[e] = []int{next(400), next(400), next(400)}
+	}
+	inst, err := distcover.NewInstance(weights, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clusterSess, err := c.CreateSession(ctx, inst, api.SolveOptions{Engine: api.EngineCluster})
+	if err != nil {
+		t.Fatalf("cluster session: %v", err)
+	}
+	flatSess, err := c.CreateSession(ctx, inst, api.SolveOptions{Engine: api.EngineFlat})
+	if err != nil {
+		t.Fatalf("flat session: %v", err)
+	}
+	requireSameSession(t, "initial solve", clusterSess, flatSess)
+
+	n := 400
+	for batch := 0; batch < 3; batch++ {
+		var d api.SessionDelta
+		d.Weights = []int64{int64(10 + batch), int64(20 + batch)}
+		for i := 0; i < 40; i++ {
+			d.Edges = append(d.Edges, []int{next(n + 2), next(n), next(n)})
+		}
+		n += 2
+		cu, err := c.UpdateSession(ctx, clusterSess.ID, d)
+		if err != nil {
+			t.Fatalf("batch %d: cluster update: %v", batch, err)
+		}
+		fu, err := c.UpdateSession(ctx, flatSess.ID, d)
+		if err != nil {
+			t.Fatalf("batch %d: flat update: %v", batch, err)
+		}
+		requireSameSession(t, fmt.Sprintf("batch %d", batch), cu.Session, fu.Session)
+		if cu.Session.Result.RatioBound > cu.Session.CertifiedBound*(1+1e-9) {
+			t.Fatalf("batch %d: ratio %g exceeds certificate %g",
+				batch, cu.Session.Result.RatioBound, cu.Session.CertifiedBound)
+		}
+	}
+}
+
+func requireSameSession(t *testing.T, label string, got, want *api.SessionInfo) {
+	t.Helper()
+	if got.InstanceHash != want.InstanceHash {
+		t.Fatalf("%s: hashes diverge", label)
+	}
+	if !reflect.DeepEqual(got.Result.Cover, want.Result.Cover) ||
+		got.Result.Weight != want.Result.Weight ||
+		got.Result.DualLowerBound != want.Result.DualLowerBound {
+		t.Fatalf("%s: cluster session diverges from flat:\n%+v\nvs\n%+v", label, got.Result, want.Result)
+	}
+}
+
+// coverdProc is one spawned daemon with its discovered listen addresses.
+type coverdProc struct {
+	httpAddr string
+	peerAddr string
+}
+
+// startCoverd spawns the binary and scans its stderr log for the ephemeral
+// HTTP and peer addresses (both listeners bind :0; the log is the only
+// place the chosen ports appear).
+func startCoverd(t *testing.T, bin string, args ...string) *coverdProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	p := &coverdProc{}
+	var mu sync.Mutex
+	ready := make(chan struct{})
+	wantPeer := false
+	for i, a := range args {
+		if a == "-peer-listen" && i+1 < len(args) {
+			wantPeer = true
+		}
+	}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		signaled := false
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			if _, addr, ok := strings.Cut(line, "listening on "); ok && p.httpAddr == "" {
+				p.httpAddr = strings.Fields(addr)[0]
+			}
+			if _, addr, ok := strings.Cut(line, "peer protocol on "); ok && p.peerAddr == "" {
+				p.peerAddr = strings.Fields(addr)[0]
+			}
+			done := p.httpAddr != "" && (!wantPeer || p.peerAddr != "")
+			mu.Unlock()
+			if done && !signaled {
+				signaled = true
+				close(ready)
+				// Keep draining so the daemon's log writes never block.
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coverd %v did not announce its listeners in time", args)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return &coverdProc{httpAddr: p.httpAddr, peerAddr: p.peerAddr}
+}

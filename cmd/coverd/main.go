@@ -5,15 +5,20 @@
 // Usage:
 //
 //	coverd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-batch N]
+//	       [-peer-listen addr] [-peers a,b,c] [-partition N]
 //	coverd -loadgen [-target URL] [-requests N] [-concurrency C]
 //	       [-pool K] [-gen kind] [-n N] [-m M] [-f F] [-eps ε] [-seed S]
 //
-// The first form serves until interrupted. The second form is a load
-// generator that hammers a coverd server with synthetic workloads from the
-// library's instance generators; with no -target it self-hosts a server
-// in-process first, so `coverd -loadgen` alone demonstrates the full
-// stack. The instance pool (-pool) is smaller than -requests, so repeated
-// submissions exercise the result cache.
+// The first form serves until interrupted. With -peer-listen the daemon
+// additionally speaks the cluster peer protocol, making it usable as a
+// worker in a multi-process cover cluster; with -peers it can coordinate
+// solves and sessions across such workers (HTTP requests select this with
+// "engine":"cluster"). The second form is a load generator that hammers a
+// coverd server with synthetic workloads from the library's instance
+// generators; with no -target it self-hosts a server in-process first, so
+// `coverd -loadgen` alone demonstrates the full stack. The instance pool
+// (-pool) is smaller than -requests, so repeated submissions exercise the
+// result cache.
 package main
 
 import (
@@ -25,9 +30,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"distcover/internal/cluster"
 	"distcover/server"
 )
 
@@ -41,6 +48,12 @@ func main() {
 		sessions = flag.Int("sessions", 128, "max live incremental sessions (secondary cap)")
 		sessMem  = flag.Int64("session-mem-budget", 256<<20,
 			"byte budget for all live sessions (estimated instance+state size; LRU-evicted beyond; -1 = unbounded)")
+		peerListen = flag.String("peer-listen", "",
+			"also serve the cluster peer protocol on this address (makes this coverd usable as a cluster worker)")
+		peers = flag.String("peers", "",
+			"comma-separated peer-protocol addresses of other coverd processes; enables the \"cluster\" engine for solves and sessions")
+		partition = flag.Int("partition", 0,
+			"default partition count for cluster solves (0 = one per peer)")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target      = flag.String("target", "", "with -loadgen: server URL (empty = self-host in-process)")
@@ -79,6 +92,12 @@ func main() {
 		return
 	}
 
+	var peerAddrs []string
+	for _, a := range strings.Split(*peers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			peerAddrs = append(peerAddrs, a)
+		}
+	}
 	srv := server.New(server.Config{
 		Workers:             *workers,
 		QueueDepth:          *queueN,
@@ -86,8 +105,30 @@ func main() {
 		MaxBatch:            *maxBatch,
 		SessionCapacity:     *sessions,
 		SessionMemoryBudget: *sessMem,
+		ClusterPeers:        peerAddrs,
+		ClusterPartitions:   *partition,
 	})
 	defer srv.Close()
+
+	if *peerListen != "" {
+		pln, err := net.Listen("tcp", *peerListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coverd: peer-listen:", err)
+			os.Exit(1)
+		}
+		peer := cluster.NewPeer()
+		peer.Logf = log.Printf
+		defer peer.Close()
+		go func() {
+			// A dead peer listener degrades this process to HTTP-only (a
+			// coordinator sees ErrPeerLost and retries elsewhere); it must
+			// not take the healthy HTTP side down with it.
+			if err := peer.Serve(pln); err != nil && err != cluster.ErrPeerClosed {
+				log.Printf("coverd: peer serve: %v (peer mode disabled)", err)
+			}
+		}()
+		log.Printf("coverd: peer protocol on %s", pln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,258 @@
+// Package cluster runs Algorithm MWHVC across several coverd processes: a
+// coordinator partitions an instance into contiguous vertex ranges over the
+// CSR layout, ships each range's share in one setup frame to a peer
+// (distcover-cluster protocol over framed TCP), and relays the compact
+// per-iteration boundary exchange — boundary-vertex levels plus join/raise
+// flags, and the global coverage count — until the cover is complete. Each
+// peer executes core.RunPartition, so the merged result is bit-identical to
+// a single-process core.RunFlat on the undivided instance; the cluster
+// equivalence tests enforce this at 1..4 partitions.
+//
+// Topology is a star: peers talk only to the coordinator, which detects a
+// dead or wedged peer on the spot (connection error or deadline) and turns
+// it into the typed ErrPeerLost after closing every connection, unblocking
+// the surviving peers — no hang, no goroutine left behind. Peers are
+// stateless between connections, so recovery is the coordinator's retry:
+// once the lost peer is restarted (or replaced), the next solve proceeds
+// from the coordinator-held session state.
+//
+// Session updates ship only the residual delta instance — the same JSON
+// shape as the session delta codec — plus the carried dual loads, so the
+// per-update traffic scales with the batch, not the instance.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"distcover/internal/core"
+	"distcover/internal/hypergraph"
+)
+
+// DefaultTimeout bounds every per-connection network operation (dial, one
+// frame read) when Config.Timeout is zero.
+const DefaultTimeout = 60 * time.Second
+
+// Typed coordinator errors.
+var (
+	// ErrNoPeers is returned when a cluster solve is attempted without
+	// configured peer addresses.
+	ErrNoPeers = errors.New("cluster: no peers configured")
+	// ErrPeerLost indicates a peer connection failed (died, was killed, or
+	// timed out) mid-solve. The coordinator's session state is unchanged;
+	// the operation can be retried once the peer is back.
+	ErrPeerLost = errors.New("cluster: peer lost")
+	// ErrPeerFailed indicates a peer reported a solver-level failure (for
+	// example an iteration-limit overrun) through the protocol.
+	ErrPeerFailed = errors.New("cluster: peer failed")
+)
+
+// Config parameterizes a coordinator-side solve.
+type Config struct {
+	// Peers are the peer addresses. Partition p connects to
+	// Peers[p mod len(Peers)], so more partitions than peers simply open
+	// several connections per process.
+	Peers []string
+	// Partitions is the partition count; 0 means one per peer.
+	Partitions int
+	// Timeout bounds dial and every frame read (0 = DefaultTimeout).
+	Timeout time.Duration
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+// Solve runs a cold-start cluster solve of g. See SolveResidual for the
+// warm-started variant; both go through run.
+func Solve(g *hypergraph.Hypergraph, opts core.Options, cfg Config) (*core.Result, error) {
+	return run(g, opts, nil, cfg)
+}
+
+// SolveResidual runs a warm-started cluster solve of a residual instance
+// with carried dual loads (the cluster session update path).
+func SolveResidual(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Config) (*core.Result, error) {
+	if carry == nil {
+		carry = make([]float64, g.NumVertices())
+	}
+	return run(g, opts, carry, cfg)
+}
+
+// peerConn is one coordinator-side connection.
+type peerConn struct {
+	addr string
+	conn net.Conn
+}
+
+// run partitions g, distributes the shares, relays the iteration exchanges
+// and assembles the merged result.
+func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Config) (*core.Result, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, ErrNoPeers
+	}
+	if opts.Exact {
+		return nil, fmt.Errorf("%w: exact arithmetic is not distributable", core.ErrPartitionOptions)
+	}
+	// Trace and invariant collection are per-process concerns the protocol
+	// does not carry; a cluster solve runs them off.
+	opts.CollectTrace = false
+	opts.CheckInvariants = false
+
+	parts := cfg.Partitions
+	if parts <= 0 {
+		parts = len(cfg.Peers)
+	}
+	bounds := core.PlanPartitions(g, parts)
+	np := len(bounds) - 1
+
+	instJSON, err := json.Marshal(g)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode instance: %w", err)
+	}
+
+	d := cfg.timeout()
+	conns := make([]*peerConn, 0, np)
+	defer func() {
+		for _, pc := range conns {
+			pc.conn.Close()
+		}
+	}()
+	for p := 0; p < np; p++ {
+		addr := cfg.Peers[p%len(cfg.Peers)]
+		conn, err := net.DialTimeout("tcp", addr, d)
+		if err != nil {
+			return nil, lost(addr, "dial", err)
+		}
+		pc := &peerConn{addr: addr, conn: conn}
+		conns = append(conns, pc)
+		if err := writeJSONFrameTimeout(conn, d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {
+			return nil, lost(addr, "hello", err)
+		}
+		if err := expectHello(conn, d); err != nil {
+			return nil, lost(addr, "hello", err)
+		}
+		if err := writeJSONFrameTimeout(conn, d, ftSetup, setupFrame{
+			Instance: instJSON,
+			Carry:    carry,
+			Options:  toSetupOptions(opts),
+			Bounds:   bounds,
+			Part:     p,
+		}); err != nil {
+			return nil, lost(addr, "setup", err)
+		}
+	}
+
+	// Relay loop: one boundary exchange and one coverage exchange per
+	// iteration, mirroring the partition runner's cadence. The coordinator
+	// tracks the global uncovered count itself, so it knows when the peers
+	// move on to their result frames.
+	uncovered := g.NumEdges()
+	iteration := 0
+	payloads := make([][]byte, np)
+	var combined []byte
+	for uncovered > 0 {
+		iteration++
+		for i, pc := range conns {
+			payload, err := pc.expect(ftBoundary, d)
+			if err != nil {
+				return nil, err
+			}
+			it, fr, err := decodeBoundary(payload)
+			if err != nil {
+				return nil, protocolErr(pc.addr, err)
+			}
+			if it != iteration || fr.Part != i {
+				return nil, protocolErr(pc.addr, fmt.Errorf("%w: boundary (iter %d part %d) during iter %d part %d",
+					ErrBadFrame, it, fr.Part, iteration, i))
+			}
+			// readFrame allocates a fresh payload per frame, so retaining it
+			// until the broadcast needs no copy.
+			payloads[i] = payload
+		}
+		combined = encodeCombinedBoundary(combined, iteration, payloads)
+		for _, pc := range conns {
+			if err := writeFrameTimeout(pc.conn, d, ftAllB, combined); err != nil {
+				return nil, lost(pc.addr, "combined boundary", err)
+			}
+		}
+		total := 0
+		for _, pc := range conns {
+			payload, err := pc.expect(ftCoverage, d)
+			if err != nil {
+				return nil, err
+			}
+			it, covered, err := decodeCoverage(payload)
+			if err != nil {
+				return nil, protocolErr(pc.addr, err)
+			}
+			if it != iteration {
+				return nil, protocolErr(pc.addr, fmt.Errorf("%w: coverage for iteration %d during %d", ErrBadFrame, it, iteration))
+			}
+			total += covered
+		}
+		if total > uncovered {
+			return nil, fmt.Errorf("%w: peers covered %d of %d uncovered edges", ErrBadFrame, total, uncovered)
+		}
+		var cbuf []byte
+		cbuf = encodeCoverage(cbuf, iteration, total)
+		for _, pc := range conns {
+			if err := writeFrameTimeout(pc.conn, d, ftAllC, cbuf); err != nil {
+				return nil, lost(pc.addr, "combined coverage", err)
+			}
+		}
+		uncovered -= total
+	}
+
+	partials := make([]*core.PartialResult, np)
+	for i, pc := range conns {
+		payload, err := pc.expect(ftResult, d)
+		if err != nil {
+			return nil, err
+		}
+		var fr resultFrame
+		if err := json.Unmarshal(payload, &fr); err != nil {
+			return nil, protocolErr(pc.addr, fmt.Errorf("%w: result: %v", ErrBadFrame, err))
+		}
+		partials[i] = frameToPartial(fr)
+	}
+	res, err := core.AssembleParts(g, opts, partials)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: assemble: %w", err)
+	}
+	return res, nil
+}
+
+// expect reads one frame of the wanted type from the peer, translating
+// transport failures into ErrPeerLost and peer-reported error frames into
+// ErrPeerFailed.
+func (pc *peerConn) expect(want byte, d time.Duration) ([]byte, error) {
+	ft, payload, err := readFrameTimeout(pc.conn, d)
+	if err != nil {
+		return nil, lost(pc.addr, "read", err)
+	}
+	if ft == ftError {
+		var ef errorFrame
+		if err := json.Unmarshal(payload, &ef); err != nil {
+			return nil, protocolErr(pc.addr, fmt.Errorf("%w: error frame: %v", ErrBadFrame, err))
+		}
+		return nil, fmt.Errorf("%w: %s: %s", ErrPeerFailed, pc.addr, ef.Message)
+	}
+	if ft != want {
+		return nil, protocolErr(pc.addr, fmt.Errorf("%w: expected type %d, got %d", ErrBadFrame, want, ft))
+	}
+	return payload, nil
+}
+
+func lost(addr, op string, cause error) error {
+	return fmt.Errorf("%w: %s: %s: %v", ErrPeerLost, addr, op, cause)
+}
+
+func protocolErr(addr string, cause error) error {
+	return fmt.Errorf("cluster: peer %s: %w", addr, cause)
+}

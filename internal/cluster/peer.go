@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"distcover/internal/core"
+	"distcover/internal/hypergraph"
+)
+
+// Peer serves one partition's share of cluster solves. A coverd process in
+// peer mode runs one Peer next to its HTTP listener; each incoming
+// connection carries exactly one solve (hello, setup, the per-iteration
+// boundary/coverage exchange, result) and peers keep no state between
+// connections — a restarted peer serves the next solve as if nothing
+// happened, which is what makes coordinator-side retry after ErrPeerLost
+// sound.
+type Peer struct {
+	// Timeout bounds every read on a peer connection (0 = DefaultTimeout).
+	// It is the self-defense against a wedged coordinator: a peer parked in
+	// an exchange read frees its goroutine when the deadline fires.
+	Timeout time.Duration
+	// Logf, when set, receives per-connection failure diagnostics.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewPeer returns a Peer ready to Serve.
+func NewPeer() *Peer {
+	return &Peer{conns: make(map[net.Conn]struct{})}
+}
+
+// ErrPeerClosed is returned by Serve after Close.
+var ErrPeerClosed = errors.New("cluster: peer closed")
+
+// Serve accepts and handles connections on ln until Close. It always
+// returns a non-nil error, ErrPeerClosed after a clean shutdown.
+func (p *Peer) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return ErrPeerClosed
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	// Transient accept failures (fd exhaustion, aborted handshakes) retry
+	// with the net/http backoff ladder instead of taking the listener down.
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return ErrPeerClosed
+			}
+			if isTemporaryAcceptErr(err) {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				p.logf("cluster peer: accept: %v (retrying in %v)", err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			return err
+		}
+		backoff = 0
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return ErrPeerClosed
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			defer func() {
+				p.mu.Lock()
+				delete(p.conns, conn)
+				p.mu.Unlock()
+				conn.Close()
+			}()
+			if err := p.handle(conn); err != nil {
+				p.logf("cluster peer: %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops the listener, closes every active connection (unblocking
+// handlers parked in reads) and waits for the handlers to drain.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	for conn := range p.conns {
+		conn.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Peer) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+func (p *Peer) timeout() time.Duration {
+	if p.Timeout > 0 {
+		return p.Timeout
+	}
+	return DefaultTimeout
+}
+
+// handle runs one connection: handshake, setup, partitioned solve with the
+// connection as the Exchanger, result. Solver-level failures are reported
+// to the coordinator as an error frame; transport failures just drop the
+// connection (the coordinator sees them as ErrPeerLost).
+func (p *Peer) handle(conn net.Conn) error {
+	d := p.timeout()
+	if err := expectHello(conn, d); err != nil {
+		return err
+	}
+	if err := writeJSONFrameTimeout(conn, d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {
+		return err
+	}
+	ft, payload, err := readFrameTimeout(conn, d)
+	if err != nil {
+		return err
+	}
+	if ft != ftSetup {
+		return fmt.Errorf("%w: expected setup, got type %d", ErrBadFrame, ft)
+	}
+	var setup setupFrame
+	if err := json.Unmarshal(payload, &setup); err != nil {
+		return fmt.Errorf("%w: setup: %v", ErrBadFrame, err)
+	}
+	var g hypergraph.Hypergraph
+	if err := g.UnmarshalJSON(setup.Instance); err != nil {
+		return sendError(conn, d, fmt.Errorf("decode instance: %w", err))
+	}
+	ex := &connExchanger{conn: conn, timeout: d}
+	partial, err := core.RunPartition(&g, setup.Options.coreOptions(), setup.Carry, setup.Bounds, setup.Part, ex)
+	if err != nil {
+		if isTransportErr(err) {
+			return err
+		}
+		return sendError(conn, d, err)
+	}
+	return writeJSONFrameTimeout(conn, d, ftResult, partialToFrame(partial))
+}
+
+// sendError reports a solver-level failure as a frame; the original error
+// is returned for the peer's log.
+func sendError(conn net.Conn, d time.Duration, cause error) error {
+	if err := writeJSONFrameTimeout(conn, d, ftError, errorFrame{Message: cause.Error()}); err != nil {
+		return err
+	}
+	return cause
+}
+
+// isTransportErr distinguishes connection failures (no point writing an
+// error frame) from solver-level failures (worth reporting upstream).
+func isTransportErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, net.ErrClosed)
+}
+
+// isTemporaryAcceptErr reports whether an Accept error is worth retrying:
+// resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) and connections that
+// aborted inside the kernel backlog. The deprecated net.Error.Temporary is
+// deliberately not consulted; this is the explicit list net/http's accept
+// loop effectively survives.
+func isTemporaryAcceptErr(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ENOBUFS) || errors.Is(err, syscall.ENOMEM) ||
+		errors.Is(err, syscall.ECONNABORTED)
+}
+
+func expectHello(conn net.Conn, d time.Duration) error {
+	ft, payload, err := readFrameTimeout(conn, d)
+	if err != nil {
+		return err
+	}
+	if ft != ftHello {
+		return fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, ft)
+	}
+	var h helloFrame
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
+	}
+	if h.Magic != protoMagic || h.Version != protoVersion {
+		return fmt.Errorf("%w: hello %q v%d (want %q v%d)", ErrBadFrame, h.Magic, h.Version, protoMagic, protoVersion)
+	}
+	return nil
+}
+
+// readFrameTimeout reads one frame under a deadline.
+func readFrameTimeout(conn net.Conn, d time.Duration) (byte, []byte, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(conn)
+}
+
+// writeFrameTimeout writes one frame under a deadline: without it, a peer
+// (or coordinator) that stops reading would park the writer forever once
+// the TCP send buffer fills — the setup frame in particular carries the
+// whole instance. Deadline write failures surface like any other transport
+// error (ErrPeerLost on the coordinator side).
+func writeFrameTimeout(conn net.Conn, d time.Duration, ft byte, payload []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	return writeFrame(conn, ft, payload)
+}
+
+// writeJSONFrameTimeout is writeJSONFrame under a write deadline.
+func writeJSONFrameTimeout(conn net.Conn, d time.Duration, ft byte, v any) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	return writeJSONFrame(conn, ft, v)
+}
+
+// connExchanger implements core.Exchanger over the peer's coordinator
+// connection: it publishes the local frame and blocks for the combined one.
+type connExchanger struct {
+	conn    net.Conn
+	timeout time.Duration
+	buf     []byte
+}
+
+func (e *connExchanger) ExchangeBoundary(iteration int, local core.BoundaryFrame) ([]core.BoundaryFrame, error) {
+	e.buf = encodeBoundary(e.buf, iteration, local)
+	if err := writeFrameTimeout(e.conn, e.timeout, ftBoundary, e.buf); err != nil {
+		return nil, err
+	}
+	ft, payload, err := readFrameTimeout(e.conn, e.timeout)
+	if err != nil {
+		return nil, err
+	}
+	if ft != ftAllB {
+		return nil, fmt.Errorf("%w: expected combined boundary, got type %d", ErrBadFrame, ft)
+	}
+	it, frames, err := decodeCombinedBoundary(payload)
+	if err != nil {
+		return nil, err
+	}
+	if it != iteration {
+		return nil, fmt.Errorf("%w: combined boundary for iteration %d during %d", ErrBadFrame, it, iteration)
+	}
+	return frames, nil
+}
+
+func (e *connExchanger) ExchangeCoverage(iteration, covered int) (int, error) {
+	e.buf = encodeCoverage(e.buf, iteration, covered)
+	if err := writeFrameTimeout(e.conn, e.timeout, ftCoverage, e.buf); err != nil {
+		return 0, err
+	}
+	ft, payload, err := readFrameTimeout(e.conn, e.timeout)
+	if err != nil {
+		return 0, err
+	}
+	if ft != ftAllC {
+		return 0, fmt.Errorf("%w: expected combined coverage, got type %d", ErrBadFrame, ft)
+	}
+	it, total, err := decodeCoverage(payload)
+	if err != nil {
+		return 0, err
+	}
+	if it != iteration {
+		return 0, fmt.Errorf("%w: combined coverage for iteration %d during %d", ErrBadFrame, it, iteration)
+	}
+	return total, nil
+}

@@ -1,0 +1,620 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"distcover/internal/hypergraph"
+)
+
+// This file implements the partitioned runner behind multi-process cover
+// clusters (internal/cluster, distcover.ClusterSolve): Algorithm MWHVC over
+// one contiguous vertex range of the CSR layout, synchronized with the
+// other partitions only through per-iteration boundary exchanges.
+//
+// The decomposition exploits the locality the paper's lockstep algorithm
+// already has. An iteration is three phases:
+//
+//   - the vertex phase touches only a vertex's own aggregates,
+//   - the edge phase reads only the vertex-phase outputs (level increments,
+//     join and raise flags) of the edge's member vertices,
+//   - the gather phase folds the edge outputs back into the owning vertex's
+//     aggregates, walking its incident edges in ascending id order.
+//
+// A partition therefore needs remote information exactly twice per
+// iteration: the vertex-phase outputs of the boundary vertices it shares
+// edges with (exchanged after the vertex phase), and the global count of
+// newly covered edges for the termination test (exchanged after the edge
+// phase — the same 2-exchanges-per-iteration cadence as the CONGEST
+// protocol's 2 rounds). Every cut edge is replicated on each partition that
+// holds one of its members and evolves identically on all of them, because
+// its bid/dual updates are a deterministic function of the exchanged
+// vertex-phase outputs; the dual is reported once, by the partition owning
+// the edge's first (minimum) vertex.
+//
+// Bit-identity: every float operation a partition performs per vertex and
+// per edge is the one the flat runner performs, in the same order — the
+// gather accumulates incident edges ascending, the init seeds aggregates
+// ascending — so AssembleParts reconstructs a Result bit-identical to
+// RunFlat (and therefore to runLockstep and every CONGEST engine). The
+// partition equivalence tests enforce this for 1..4 partitions, cold and
+// warm starts alike.
+//
+// Exact (big.Rat) arithmetic is not supported: rationals have no canonical
+// compact wire form, and the exact path exists for verification, not
+// distribution.
+
+// ErrPartitionOptions rejects configurations the partitioned runner cannot
+// honor (exact arithmetic, malformed partition plans).
+var ErrPartitionOptions = errors.New("core: invalid partition configuration")
+
+// BoundaryState is one boundary vertex's per-iteration vertex-phase output:
+// its absolute level after step 3d (receivers derive the increment from the
+// previous level they hold), and the step 3a/3e join and raise flags.
+type BoundaryState struct {
+	V      int32
+	Level  int32
+	Joined bool
+	Raise  bool
+}
+
+// BoundaryFrame is one partition's per-iteration boundary broadcast.
+type BoundaryFrame struct {
+	Part   int
+	States []BoundaryState
+}
+
+// Exchanger synchronizes a partition with its peers once per phase pair.
+// Implementations must deliver every partition's frame (own included) in
+// ascending partition order; internal/cluster implements it over framed TCP
+// through the coordinator, and tests implement it over channels.
+type Exchanger interface {
+	// ExchangeBoundary publishes this partition's boundary vertex states for
+	// the iteration and returns all partitions' frames.
+	ExchangeBoundary(iteration int, local BoundaryFrame) ([]BoundaryFrame, error)
+	// ExchangeCoverage publishes how many owned edges this partition newly
+	// covered in the iteration and returns the global total.
+	ExchangeCoverage(iteration int, coveredOwned int) (int, error)
+}
+
+// PartialResult is one partition's share of a clustered run, merged by
+// AssembleParts.
+type PartialResult struct {
+	Part       int
+	Iterations int
+	MaxLevel   int // over the partition's own vertex range
+
+	// Cover and CoverWeight describe the partition's own vertex range.
+	Cover       []hypergraph.VertexID
+	CoverWeight int64
+
+	// DualEdges/DualValues hold δ(e) for the partition's owned edges (the
+	// edges whose minimum vertex falls in its range), ascending by edge id.
+	DualEdges  []int32
+	DualValues []float64
+
+	// Z, Alpha and Epsilon echo the run parameters every partition resolved
+	// independently; AssembleParts cross-checks they agree.
+	Z       int
+	Alpha   float64
+	Epsilon float64
+}
+
+// PlanPartitions returns contiguous vertex bounds (len parts+1) balanced by
+// incidence-CSR volume, the same balancing the flat runner uses for its
+// chunks. parts is clamped to [1, max(1, NumVertices)].
+func PlanPartitions(g *hypergraph.Hypergraph, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if max := maxInt(g.NumVertices(), 1); parts > max {
+		parts = max
+	}
+	return volumeBounds(csrOffsets(g.IncidenceOffsets()), parts)
+}
+
+// validateBounds checks a partition plan against g.
+func validateBounds(g *hypergraph.Hypergraph, bounds []int, part int) error {
+	if len(bounds) < 2 {
+		return fmt.Errorf("%w: plan needs at least 2 bounds, got %d", ErrPartitionOptions, len(bounds))
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != g.NumVertices() {
+		return fmt.Errorf("%w: bounds must span [0, %d], got [%d, %d]",
+			ErrPartitionOptions, g.NumVertices(), bounds[0], bounds[len(bounds)-1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return fmt.Errorf("%w: bounds not monotone at %d", ErrPartitionOptions, i)
+		}
+	}
+	if part < 0 || part >= len(bounds)-1 {
+		return fmt.Errorf("%w: partition %d of %d", ErrPartitionOptions, part, len(bounds)-1)
+	}
+	return nil
+}
+
+// partitionRun is the per-partition working memory around the shared solver
+// state. Arrays are full-size and indexed by global vertex/edge id; only the
+// partition's own range and its local (incident) edges are ever touched,
+// plus the level/inc/joined/raise entries of received boundary vertices.
+type partitionRun struct {
+	st     *state[float64]
+	bounds []int
+	part   int
+	lo, hi int
+
+	localEdges []int32 // edges with ≥1 member in [lo, hi), ascending
+	ownedEdges []int32 // subset owned by this partition (min vertex in range)
+	boundary   []int32 // own vertices appearing in cut edges, ascending
+
+	addE  []float64 // per local edge: this iteration's dual increment
+	newly []bool    // per local edge: became covered this iteration
+
+	frame []BoundaryState // reusable boundary frame storage
+}
+
+// RunPartition executes this partition's share of Algorithm MWHVC over g.
+// Every partition must run the same g, opts, carry and bounds (the
+// coordinator ships them in one setup frame); ex synchronizes the
+// iterations. The returned PartialResult covers the partition's vertex
+// range and owned edges only — AssembleParts merges the shares into a
+// Result bit-identical to RunFlat on the undivided instance.
+func RunPartition(g *hypergraph.Hypergraph, opts Options, carry []float64, bounds []int, part int, ex Exchanger) (*PartialResult, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	if opts.Exact {
+		return nil, fmt.Errorf("%w: exact arithmetic is not distributable", ErrPartitionOptions)
+	}
+	if err := validateBounds(g, bounds, part); err != nil {
+		return nil, err
+	}
+	if carry != nil {
+		if err := validateCarry(g, carry); err != nil {
+			return nil, err
+		}
+	}
+	f := g.Rank()
+	eps := opts.Epsilon
+	st := newState(floatNumeric{}, g, opts)
+	r := &partitionRun{
+		st:     st,
+		bounds: bounds,
+		part:   part,
+		lo:     bounds[part],
+		hi:     bounds[part+1],
+	}
+	r.index(g)
+
+	globalAlpha := st.resolveAlphas(f, eps)
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = defaultIterationCap(f, eps, g.MaxDegree(), globalAlpha)
+	}
+
+	r.initIterationZero(carry)
+
+	res := &PartialResult{
+		Part:    part,
+		Z:       ZLevels(f, eps),
+		Alpha:   globalAlpha,
+		Epsilon: eps,
+	}
+	// Termination is decided on the global uncovered count, reconstructed
+	// identically on every partition from the per-iteration coverage
+	// exchange; st.uncovered is unused on this path.
+	uncovered := g.NumEdges()
+	for uncovered > 0 {
+		if res.Iterations >= maxIter {
+			return nil, fmt.Errorf("%w: %d iterations, %d edges uncovered",
+				ErrIterationLimit, res.Iterations, uncovered)
+		}
+		res.Iterations++
+		r.vertexPhase()
+		frames, err := ex.ExchangeBoundary(res.Iterations, BoundaryFrame{Part: part, States: r.fillFrame()})
+		if err != nil {
+			return nil, err
+		}
+		if err := r.applyFrames(frames); err != nil {
+			return nil, err
+		}
+		coveredOwned := r.edgePhase()
+		r.gatherPhase()
+		total, err := ex.ExchangeCoverage(res.Iterations, coveredOwned)
+		if err != nil {
+			return nil, err
+		}
+		if total < coveredOwned || total > uncovered {
+			return nil, fmt.Errorf("%w: coverage total %d out of range (own %d, uncovered %d)",
+				ErrPartitionOptions, total, coveredOwned, uncovered)
+		}
+		uncovered -= total
+	}
+	r.fill(res)
+	return res, nil
+}
+
+// index derives the partition's local/owned edge lists and boundary vertex
+// set from the CSR arrays. All three are ascending by construction: edges
+// are visited in id order and boundary vertices collected range-ascending.
+func (r *partitionRun) index(g *hypergraph.Hypergraph) {
+	m := g.NumEdges()
+	isBoundary := make([]bool, r.hi-r.lo)
+	for e := 0; e < m; e++ {
+		vs := g.Edge(hypergraph.EdgeID(e))
+		local, cut := false, false
+		for _, v := range vs {
+			if int(v) >= r.lo && int(v) < r.hi {
+				local = true
+			} else {
+				cut = true
+			}
+		}
+		if !local {
+			continue
+		}
+		r.localEdges = append(r.localEdges, int32(e))
+		// Edge vertex lists are sorted ascending (hypergraph invariant), so
+		// vs[0] is the minimum vertex and ownership is well defined.
+		if int(vs[0]) >= r.lo && int(vs[0]) < r.hi {
+			r.ownedEdges = append(r.ownedEdges, int32(e))
+		}
+		if cut {
+			for _, v := range vs {
+				if int(v) >= r.lo && int(v) < r.hi {
+					isBoundary[int(v)-r.lo] = true
+				}
+			}
+		}
+	}
+	for i, b := range isBoundary {
+		if b {
+			r.boundary = append(r.boundary, int32(r.lo+i))
+		}
+	}
+	r.addE = make([]float64, m)
+	r.newly = make([]bool, m)
+	r.frame = make([]BoundaryState, len(r.boundary))
+}
+
+// initIterationZero mirrors the flat runner's iteration 0 restricted to the
+// partition: levels are derived from the carry for every vertex (boundary
+// neighbors' levels feed the warm bid rule), aggregates are seeded for the
+// own range only, and initial bids are computed for every local edge —
+// identically on each partition that replicates the edge.
+func (r *partitionRun) initIterationZero(carry []float64) {
+	st := r.st
+	g, num := st.g, st.num
+	f := maxInt(g.Rank(), 1)
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		w := g.Weight(hypergraph.VertexID(v))
+		st.wT[v] = float64(w)
+		if carry != nil {
+			st.sumDelta[v] = carry[v]
+			for num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)) > st.wT[v] {
+				st.level[v]++
+			}
+		}
+		if v < r.lo || v >= r.hi {
+			continue
+		}
+		st.fWT[v] = float64(w * int64(f))
+		st.sumBid[v] = 0
+		st.uncovDeg[v] = g.Degree(hypergraph.VertexID(v))
+		if st.uncovDeg[v] == 0 {
+			st.doneV[v] = true
+		}
+	}
+	for _, e32 := range r.localEdges {
+		vs := g.Edge(hypergraph.EdgeID(e32))
+		ve := vs[0]
+		var b float64
+		if carry == nil {
+			for _, v := range vs[1:] {
+				// argmin w(v)/|E(v)| with deterministic tie-break on lower
+				// id, compared in exact integers (see runner.go).
+				if g.Weight(v)*int64(g.Degree(ve)) < g.Weight(ve)*int64(g.Degree(v)) {
+					ve = v
+				}
+			}
+			b = num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve)))
+		} else {
+			best := num.HalfPow(num.FromRatio(g.Weight(ve), int64(g.Degree(ve))), st.level[ve])
+			for _, v := range vs[1:] {
+				cand := num.HalfPow(num.FromRatio(g.Weight(v), int64(g.Degree(v))), st.level[v])
+				if cand < best {
+					ve, best = v, cand
+				}
+			}
+			b = num.HalfPow(num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve))), st.level[ve])
+		}
+		st.bid[e32] = b
+		st.delta[e32] = b
+	}
+	for v := r.lo; v < r.hi; v++ {
+		for _, e := range g.Incident(hypergraph.VertexID(v)) {
+			st.sumDelta[v] = num.Add(st.sumDelta[v], st.bid[e])
+			st.sumBid[v] = num.Add(st.sumBid[v], st.bid[e])
+		}
+	}
+}
+
+// vertexPhase is the flat runner's vertex phase over the own range.
+func (r *partitionRun) vertexPhase() {
+	st := r.st
+	num := st.num
+	for v := r.lo; v < r.hi; v++ {
+		st.inc[v] = 0
+		st.joined[v] = false
+		if st.doneV[v] {
+			continue
+		}
+		if num.Cmp(num.Mul(st.sumDelta[v], st.fPlusEps), st.fWT[v]) >= 0 {
+			st.inCover[v] = true
+			st.joined[v] = true
+			st.doneV[v] = true
+			continue
+		}
+		for num.Cmp(num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)), st.wT[v]) > 0 {
+			st.level[v]++
+			st.inc[v]++
+		}
+		if st.inc[v] > 0 {
+			st.stuckCur[v] = 0
+		}
+		view := num.HalfPow(st.sumBid[v], st.inc[v])
+		if num.Cmp(num.Mul(st.alphaV[v], view), num.HalfPow(st.wT[v], st.level[v]+1)) <= 0 {
+			st.raise[v] = true
+		} else {
+			st.raise[v] = false
+			st.stuckCur[v]++
+		}
+	}
+}
+
+// fillFrame snapshots the boundary vertices' vertex-phase outputs. Every
+// boundary vertex is sent every iteration — including retired ones, whose
+// flags no live edge will read — so receivers never hold stale increments.
+func (r *partitionRun) fillFrame() []BoundaryState {
+	st := r.st
+	for i, v := range r.boundary {
+		r.frame[i] = BoundaryState{
+			V:      v,
+			Level:  int32(st.level[v]),
+			Joined: st.joined[v],
+			Raise:  st.raise[v],
+		}
+	}
+	return r.frame
+}
+
+// applyFrames folds the other partitions' boundary states into the local
+// level/inc/joined/raise arrays; the level increment is the difference
+// against the level held from the previous iteration.
+func (r *partitionRun) applyFrames(frames []BoundaryFrame) error {
+	st := r.st
+	n := int32(st.g.NumVertices())
+	for _, fr := range frames {
+		if fr.Part == r.part {
+			continue
+		}
+		for _, bs := range fr.States {
+			if bs.V < 0 || bs.V >= n {
+				return fmt.Errorf("%w: boundary vertex %d out of range", ErrPartitionOptions, bs.V)
+			}
+			v := int(bs.V)
+			inc := int(bs.Level) - st.level[v]
+			if inc < 0 {
+				return fmt.Errorf("%w: vertex %d level regressed %d -> %d",
+					ErrPartitionOptions, v, st.level[v], bs.Level)
+			}
+			st.inc[v] = inc
+			st.level[v] = int(bs.Level)
+			st.joined[v] = bs.Joined
+			st.raise[v] = bs.Raise
+		}
+	}
+	return nil
+}
+
+// edgePhase is the flat runner's edge phase over the local edges; it
+// returns how many owned edges became covered this iteration (the
+// partition's contribution to the global termination count). Cut edges are
+// processed identically on every partition that replicates them.
+func (r *partitionRun) edgePhase() int {
+	st := r.st
+	g, num := st.g, st.num
+	coveredOwned := 0
+	owned := r.ownedEdges
+	for _, e32 := range r.localEdges {
+		e := int(e32)
+		if st.covered[e] {
+			r.newly[e] = false
+			continue
+		}
+		vs := g.Edge(hypergraph.EdgeID(e))
+		nowCovered := false
+		halvings := 0
+		allRaise := true
+		for _, v := range vs {
+			if st.joined[v] {
+				nowCovered = true
+			}
+			halvings += st.inc[v]
+			if !st.raise[v] {
+				allRaise = false
+			}
+		}
+		if nowCovered {
+			st.covered[e] = true
+			r.newly[e] = true
+			for len(owned) > 0 && owned[0] < e32 {
+				owned = owned[1:]
+			}
+			if len(owned) > 0 && owned[0] == e32 {
+				coveredOwned++
+			}
+			continue
+		}
+		if halvings > 0 {
+			st.bid[e] = num.HalfPow(st.bid[e], halvings)
+		}
+		if allRaise {
+			st.bid[e] = num.Mul(st.bid[e], st.alphaE[e])
+		}
+		add := st.bid[e]
+		if st.opts.Variant == VariantSingleLevel {
+			add = num.HalfPow(add, 1)
+		}
+		st.delta[e] = num.Add(st.delta[e], add)
+		r.addE[e] = add
+	}
+	return coveredOwned
+}
+
+// gatherPhase is the flat runner's gather over the own range: newly covered
+// incident edges retire, live ones contribute their dual increment and bid
+// in ascending edge id — the sequential scatter order.
+func (r *partitionRun) gatherPhase() {
+	st := r.st
+	g, num := st.g, st.num
+	for v := r.lo; v < r.hi; v++ {
+		if st.doneV[v] {
+			continue
+		}
+		deg := st.uncovDeg[v]
+		sumBid := 0.0
+		alphaV := st.alphaV[v]
+		if st.localAlpha {
+			alphaV = 2
+		}
+		for _, e := range g.Incident(hypergraph.VertexID(v)) {
+			if r.newly[e] {
+				deg--
+				continue
+			}
+			if st.covered[e] {
+				continue
+			}
+			st.sumDelta[v] = num.Add(st.sumDelta[v], r.addE[e])
+			sumBid = num.Add(sumBid, st.bid[e])
+			if st.localAlpha && st.alphaE[e] > alphaV {
+				alphaV = st.alphaE[e]
+			}
+		}
+		st.uncovDeg[v] = deg
+		if deg == 0 {
+			st.doneV[v] = true
+			continue
+		}
+		st.sumBid[v] = sumBid
+		if st.localAlpha {
+			st.alphaV[v] = alphaV
+		}
+	}
+}
+
+// fill converts the final partition state into the PartialResult share.
+func (r *partitionRun) fill(res *PartialResult) {
+	st := r.st
+	g := st.g
+	for v := r.lo; v < r.hi; v++ {
+		if st.inCover[v] {
+			res.Cover = append(res.Cover, hypergraph.VertexID(v))
+			res.CoverWeight += g.Weight(hypergraph.VertexID(v))
+		}
+		if st.level[v] > res.MaxLevel {
+			res.MaxLevel = st.level[v]
+		}
+	}
+	res.DualEdges = append(res.DualEdges, r.ownedEdges...)
+	res.DualValues = make([]float64, len(r.ownedEdges))
+	for i, e := range r.ownedEdges {
+		res.DualValues[i] = st.delta[e]
+	}
+}
+
+// AssembleParts merges the partitions' shares into a Result equal, bit for
+// bit, to RunFlat on the undivided instance: covers concatenate in
+// partition (= vertex) order, every edge's dual is reported by exactly one
+// owner, and the dual value accumulates in ascending edge id — the order
+// state.fill sums in.
+func AssembleParts(g *hypergraph.Hypergraph, opts Options, parts []*PartialResult) (*Result, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: no partial results", ErrPartitionOptions)
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("%w: missing partial result %d", ErrPartitionOptions, i)
+		}
+	}
+	first := parts[0]
+	res := &Result{
+		InCover:    make([]bool, g.NumVertices()),
+		Dual:       make([]float64, g.NumEdges()),
+		Iterations: first.Iterations,
+		Z:          first.Z,
+		Alpha:      first.Alpha,
+		Epsilon:    first.Epsilon,
+	}
+	seen := make([]bool, g.NumEdges())
+	for i, p := range parts {
+		if p.Part != i {
+			return nil, fmt.Errorf("%w: partial %d reports partition %d", ErrPartitionOptions, i, p.Part)
+		}
+		if p.Iterations != first.Iterations || p.Z != first.Z || p.Alpha != first.Alpha || p.Epsilon != first.Epsilon {
+			return nil, fmt.Errorf("%w: partition %d ran diverging parameters", ErrPartitionOptions, i)
+		}
+		if len(p.DualEdges) != len(p.DualValues) {
+			return nil, fmt.Errorf("%w: partition %d dual arrays disagree", ErrPartitionOptions, i)
+		}
+		for _, v := range p.Cover {
+			if int(v) >= g.NumVertices() {
+				return nil, fmt.Errorf("%w: cover vertex %d out of range", ErrPartitionOptions, v)
+			}
+			res.InCover[v] = true
+			res.Cover = append(res.Cover, v)
+		}
+		res.CoverWeight += p.CoverWeight
+		if p.MaxLevel > res.MaxLevel {
+			res.MaxLevel = p.MaxLevel
+		}
+		for j, e := range p.DualEdges {
+			if e < 0 || int(e) >= g.NumEdges() {
+				return nil, fmt.Errorf("%w: dual edge %d out of range", ErrPartitionOptions, e)
+			}
+			if seen[e] {
+				return nil, fmt.Errorf("%w: edge %d reported by two partitions", ErrPartitionOptions, e)
+			}
+			seen[e] = true
+			res.Dual[e] = p.DualValues[j]
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("%w: edge %d reported by no partition", ErrPartitionOptions, e)
+		}
+		res.DualValue += res.Dual[e]
+	}
+	sort.Slice(res.Cover, func(i, j int) bool { return res.Cover[i] < res.Cover[j] })
+	switch {
+	case res.DualValue > 0:
+		res.RatioBound = float64(res.CoverWeight) / res.DualValue
+	case res.CoverWeight == 0:
+		res.RatioBound = 1
+	default:
+		res.RatioBound = math.Inf(1)
+	}
+	if g.NumEdges() == 0 {
+		res.Rounds = 1
+	} else {
+		res.Rounds = 2 + 2*res.Iterations
+	}
+	return res, nil
+}

@@ -25,6 +25,11 @@ type solveConfig struct {
 	flat bool
 	// parallelism is the flat runner's worker count (0 = GOMAXPROCS).
 	parallelism int
+	// clusterPeers, when non-empty, routes solves and session residual
+	// re-solves across coverd peer processes (ClusterSolve's path).
+	clusterPeers []string
+	// clusterParts is the cluster partition count (0 = one per peer).
+	clusterParts int
 }
 
 type engineKind int
@@ -121,6 +126,27 @@ func WithFlatEngine() Option {
 // only the wall-clock changes.
 func WithSolverParallelism(n int) Option {
 	return optionFunc(func(c *solveConfig) { c.parallelism = n })
+}
+
+// WithClusterPeers makes NewSession run the initial solve and every
+// Session.Update residual re-solve partitioned across the given coverd
+// peer processes (see ClusterSolve; results stay bit-identical to the
+// single-process engines). ClusterSolve sets it implicitly from its peers
+// argument. Combine with WithClusterPartitions to run more partitions than
+// peers.
+func WithClusterPeers(addrs ...string) Option {
+	return optionFunc(func(c *solveConfig) {
+		c.clusterPeers = append([]string(nil), addrs...)
+	})
+}
+
+// WithClusterPartitions sets the number of contiguous vertex-range
+// partitions a cluster solve splits the instance into; n ≤ 0 or omitting
+// the option means one partition per peer. Partitions beyond the peer
+// count open additional connections round-robin. The result is identical
+// for every n — only placement changes.
+func WithClusterPartitions(n int) Option {
+	return optionFunc(func(c *solveConfig) { c.clusterParts = n })
 }
 
 // WithSequentialEngine explicitly selects the deterministic sequential

@@ -33,6 +33,13 @@ const (
 	EngineCongestSharded = "congest-sharded"
 	// EngineCongestTCP moves CONGEST messages over real loopback sockets.
 	EngineCongestTCP = "congest-tcp"
+	// EngineCluster partitions the instance across the coverd peer
+	// processes the server was started with (-peers): each peer solves one
+	// contiguous vertex range and only boundary state crosses the wire.
+	// Results are bit-identical to EngineSim/EngineFlat (shared cache
+	// identity). Requires a server configured with peers; see
+	// SolveOptions.Partitions.
+	EngineCluster = "cluster"
 )
 
 // SolveOptions maps one-to-one onto the library's functional options.
@@ -59,6 +66,10 @@ type SolveOptions struct {
 	// Parallelism sets the worker count for EngineFlat (0 = one worker per
 	// CPU). Ignored by the other engines; never changes results.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Partitions sets the partition count for EngineCluster (0 = one per
+	// configured peer). Ignored by the other engines; never changes
+	// results.
+	Partitions int `json:"partitions,omitempty"`
 	// NoCache bypasses the server's instance-result cache for this request
 	// (the result is still stored for future requests).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -73,15 +84,16 @@ func (o SolveOptions) Fingerprint() string {
 	if eng == "" {
 		eng = EngineSim
 	}
-	// The flat engine is bit-identical to the simulator (enforced by the
-	// engine-equivalence property test), so the two share one cache
-	// identity; Parallelism changes scheduling, not results, and is
-	// likewise excluded. The in-memory congest engines produce identical
-	// solutions AND identical communication stats, so they share one cache
-	// identity too (Shards excluded for the same reason). The TCP engine
-	// stays distinct: it additionally reports WireBytes, which a cached
-	// in-memory result would be missing.
-	if eng == EngineFlat {
+	// The flat and cluster engines are bit-identical to the simulator
+	// (enforced by the engine- and cluster-equivalence property tests), so
+	// the three share one cache identity; Parallelism and Partitions change
+	// scheduling and placement, not results, and are likewise excluded. The
+	// in-memory congest engines produce identical solutions AND identical
+	// communication stats, so they share one cache identity too (Shards
+	// excluded for the same reason). The TCP engine stays distinct: it
+	// additionally reports WireBytes, which a cached in-memory result would
+	// be missing.
+	if eng == EngineFlat || eng == EngineCluster {
 		eng = EngineSim
 	}
 	if eng == EngineCongestParallel || eng == EngineCongestSharded {

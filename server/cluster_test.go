@@ -1,0 +1,117 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distcover/internal/cluster"
+	"distcover/server"
+	"distcover/server/api"
+)
+
+// startPeerProtocols launches n cluster peer listeners on 127.0.0.1:0.
+func startPeerProtocols(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := cluster.NewPeer()
+		go p.Serve(ln)
+		t.Cleanup(func() { p.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// TestServerClusterEngine drives the "cluster" engine through the HTTP API
+// and the Go client: solves and sessions must match the simulator engine
+// bit for bit (they share a cache identity), and a server without peers
+// must reject the engine cleanly.
+func TestServerClusterEngine(t *testing.T) {
+	peers := startPeerProtocols(t, 2)
+	_, c := newTestServer(t, server.Config{Workers: 2, QueueDepth: 16, ClusterPeers: peers})
+	ctx := context.Background()
+	inst := genInstance(t, 80, 240, 3, 424)
+
+	simRes, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clRes, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5, Engine: api.EngineCluster, Partitions: 3, NoCache: true})
+	if err != nil {
+		t.Fatalf("cluster solve: %v", err)
+	}
+	if !reflect.DeepEqual(clRes.Cover, simRes.Cover) || clRes.Weight != simRes.Weight ||
+		clRes.DualLowerBound != simRes.DualLowerBound || clRes.Iterations != simRes.Iterations {
+		t.Fatalf("cluster result diverges from sim:\n%+v\nvs\n%+v", clRes, simRes)
+	}
+
+	// Shared cache identity: a cluster request after a sim solve is a hit.
+	hit, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5, Engine: api.EngineCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("cluster request should share the simulator's cache entry")
+	}
+
+	// Cluster-backed incremental session.
+	si, err := c.CreateSession(ctx, inst, api.SolveOptions{Engine: api.EngineCluster})
+	if err != nil {
+		t.Fatalf("cluster session: %v", err)
+	}
+	refSi, err := c.CreateSession(ctx, inst, api.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := api.SessionDelta{
+		Weights: []int64{3, 4},
+		Edges:   [][]int{{80, 81}, {0, 80}, {5, 81}},
+	}
+	up, err := c.UpdateSession(ctx, si.ID, delta)
+	if err != nil {
+		t.Fatalf("cluster session update: %v", err)
+	}
+	refUp, err := c.UpdateSession(ctx, refSi.ID, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(up.Session.Result.Cover, refUp.Session.Result.Cover) ||
+		up.Session.Result.DualLowerBound != refUp.Session.Result.DualLowerBound {
+		t.Fatal("cluster session diverges from sim session after update")
+	}
+	if up.Session.InstanceHash != refUp.Session.InstanceHash {
+		t.Fatal("session hashes diverge")
+	}
+}
+
+// TestServerClusterEngineRequiresPeers: a server without -peers rejects the
+// engine with a client-visible error, for solves and sessions both.
+func TestServerClusterEngineRequiresPeers(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+	inst := genInstance(t, 10, 20, 2, 7)
+	if _, err := c.Solve(ctx, inst, api.SolveOptions{Engine: api.EngineCluster}); err == nil ||
+		!strings.Contains(err.Error(), "-peers") {
+		t.Fatalf("peerless cluster solve: err = %v, want -peers guidance", err)
+	}
+	if _, err := c.CreateSession(ctx, inst, api.SolveOptions{Engine: api.EngineCluster}); err == nil ||
+		!strings.Contains(err.Error(), "-peers") {
+		t.Fatalf("peerless cluster session: err = %v, want -peers guidance", err)
+	}
+	// The cluster engine shares the simulator's cache identity; a warm
+	// cache must not leak results past the peerless rejection.
+	if _, err := c.Solve(ctx, inst, api.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx, inst, api.SolveOptions{Engine: api.EngineCluster}); err == nil ||
+		!strings.Contains(err.Error(), "-peers") {
+		t.Fatalf("peerless cluster solve with warm cache: err = %v, want -peers guidance", err)
+	}
+}

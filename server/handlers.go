@@ -180,7 +180,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if _, err := sessionLibOptions(req.Options); err != nil {
+	if _, err := sessionLibOptions(req.Options, s.pool.cluster); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -31,16 +31,20 @@ func TestQueueBlockingEnqueue(t *testing.T) {
 	if err := q.tryEnqueue(newJob(nil, nil, api.SolveOptions{}, "h", "k")); err != nil {
 		t.Fatal(err)
 	}
-	// Blocking enqueue proceeds once a consumer drains the queue.
+	// Blocking enqueue proceeds once a consumer drains the queue. The
+	// consumer needs no delay: whether it drains before or after the
+	// producer parks, the enqueue must complete.
+	drained := make(chan struct{})
 	go func() {
-		time.Sleep(10 * time.Millisecond)
 		<-q.ch
+		close(drained)
 	}()
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := q.enqueue(ctx, newJob(nil, nil, api.SolveOptions{}, "h", "k")); err != nil {
 		t.Fatalf("blocking enqueue: %v", err)
 	}
+	<-drained
 	// With no consumer, a canceled context unblocks the producer.
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel2()

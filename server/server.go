@@ -68,6 +68,14 @@ type Config struct {
 	// an update grows a session past it. This is the primary session bound:
 	// it holds under mixed instance sizes where a plain count cannot.
 	SessionMemoryBudget int64
+	// ClusterPeers are the coverd peer-protocol addresses this server may
+	// coordinate solves across (coverd -peers). Empty disables the
+	// "cluster" engine: requests asking for it are rejected.
+	ClusterPeers []string
+	// ClusterPartitions is the default partition count for cluster solves
+	// when the request leaves SolveOptions.Partitions at 0 (0 = one
+	// partition per peer).
+	ClusterPartitions int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +137,7 @@ func New(cfg Config) *Server {
 		sessions: newSessionRegistry(cfg.SessionCapacity, cfg.SessionMemoryBudget),
 	}
 	s.pool = newWorkerPool(cfg.Workers, s.queue, s.cache, s.metrics)
+	s.pool.cluster = clusterSettings{peers: cfg.ClusterPeers, partitions: cfg.ClusterPartitions}
 	s.pool.start()
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -149,6 +158,12 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 
 // buildJob validates a SolveRequest and turns it into a queueable job.
 func (s *Server) buildJob(req api.SolveRequest) (*job, error) {
+	// Reject the cluster engine on a peerless server up front: it shares
+	// the simulator's cache identity, so deferring the check to the worker
+	// would let a warm cache serve what configuration says must fail.
+	if req.Options.Engine == api.EngineCluster && len(s.cfg.ClusterPeers) == 0 {
+		return nil, fmt.Errorf("coverd: engine %q requires a server started with -peers", api.EngineCluster)
+	}
 	switch {
 	case len(req.Instance) > 0 && req.ILP != nil:
 		return nil, fmt.Errorf("request sets both instance and ilp")

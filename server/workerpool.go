@@ -15,9 +15,35 @@ type workerPool struct {
 	queue   *jobQueue
 	cache   *resultCache
 	metrics *Metrics
+	cluster clusterSettings
 	size    int
 	stop    chan struct{}
 	idle    chan struct{} // one token per worker, returned on exit
+}
+
+// clusterSettings carries the server's peer-mode configuration to the
+// option mapping: the peer addresses come from the daemon's flags, not
+// from requests, so requests can only select the engine and the partition
+// count.
+type clusterSettings struct {
+	peers      []string
+	partitions int
+}
+
+// options maps the settings plus a request's partition choice onto the
+// library options, rejecting cluster requests on a server without peers.
+func (c clusterSettings) options(o api.SolveOptions) ([]distcover.Option, error) {
+	if len(c.peers) == 0 {
+		return nil, fmt.Errorf("coverd: engine %q requires a server started with -peers", api.EngineCluster)
+	}
+	parts := o.Partitions
+	if parts == 0 {
+		parts = c.partitions
+	}
+	return []distcover.Option{
+		distcover.WithClusterPeers(c.peers...),
+		distcover.WithClusterPartitions(parts),
+	}, nil
 }
 
 func newWorkerPool(size int, q *jobQueue, cache *resultCache, metrics *Metrics) *workerPool {
@@ -81,7 +107,7 @@ func (p *workerPool) run(j *job) {
 // runSessionCreate performs a session's initial solve.
 func (p *workerPool) runSessionCreate(j *job) {
 	j.setRunning()
-	opts, err := sessionLibOptions(j.opts)
+	opts, err := sessionLibOptions(j.opts, p.cluster)
 	if err != nil {
 		j.complete(nil, err)
 		return
@@ -128,7 +154,7 @@ func (p *workerPool) runSolve(j *job) {
 		}
 	}
 	start := time.Now()
-	res, err := solve(j.inst, j.ilp, j.opts)
+	res, err := solve(j.inst, j.ilp, j.opts, p.cluster)
 	elapsed := time.Since(start)
 	p.metrics.recordSolve(elapsed.Seconds(), err)
 	if err != nil {
@@ -169,13 +195,20 @@ func baseLibOptions(o api.SolveOptions) []distcover.Option {
 
 // sessionLibOptions additionally maps the engine choice for sessions, where
 // an explicit engine option switches NewSession from the lockstep simulator
-// to the message protocol on that engine.
-func sessionLibOptions(o api.SolveOptions) ([]distcover.Option, error) {
+// to the message protocol on that engine (or partitions it across the
+// server's cluster peers).
+func sessionLibOptions(o api.SolveOptions, cluster clusterSettings) ([]distcover.Option, error) {
 	opts := baseLibOptions(o)
 	switch o.Engine {
 	case "", api.EngineSim:
 	case api.EngineFlat:
 		opts = append(opts, distcover.WithFlatEngine(), distcover.WithSolverParallelism(o.Parallelism))
+	case api.EngineCluster:
+		copts, err := cluster.options(o)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, copts...)
 	case api.EngineCongest:
 		opts = append(opts, distcover.WithSequentialEngine())
 	case api.EngineCongestParallel:
@@ -192,7 +225,7 @@ func sessionLibOptions(o api.SolveOptions) ([]distcover.Option, error) {
 
 // solve maps api.SolveOptions onto the library's functional options and
 // dispatches to the right execution path.
-func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*api.SolveResult, error) {
+func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions, cluster clusterSettings) (*api.SolveResult, error) {
 	opts := baseLibOptions(o)
 
 	if ilp != nil {
@@ -220,6 +253,16 @@ func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions) (*a
 			opts = append(opts, distcover.WithFlatEngine(), distcover.WithSolverParallelism(o.Parallelism))
 		}
 		sol, err := distcover.Solve(inst, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return coverResult(sol, nil), nil
+	case api.EngineCluster:
+		copts, err := cluster.options(o)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := distcover.ClusterSolve(inst, cluster.peers, append(opts, copts...)...)
 		if err != nil {
 			return nil, err
 		}

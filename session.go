@@ -115,6 +115,8 @@ func NewSession(inst *Instance, opts ...Option) (*Session, error) {
 	var res *core.Result
 	var err error
 	switch {
+	case len(cfg.clusterPeers) > 0:
+		res, err = clusterRun(s.g, cfg, nil)
 	case cfg.congest:
 		var metrics congest.Metrics
 		res, metrics, err = core.RunCongest(s.g, cfg.core, cfg.buildEngine(), congest.Options{Validate: true})
@@ -227,6 +229,11 @@ func (s *Session) Update(d Delta) (*UpdateStats, error) {
 				}
 			}
 			switch {
+			case len(s.cfg.clusterPeers) > 0:
+				// The residual instance plus carried loads is exactly the
+				// compact session delta the peers receive; the full base
+				// instance never re-crosses the wire.
+				res, err = clusterRun(rg, s.cfg, carry)
 			case s.cfg.congest:
 				// The CONGEST bit budget is a property of the whole system,
 				// not of the (small) residual sub-network: messages carry
@@ -423,6 +430,19 @@ func (s *Session) MemoryBytes() int64 {
 	// inCover is 1 byte per vertex; load, dual and remap are 8.
 	state := int64(len(s.inCover)) + 8*int64(len(s.load)+len(s.dual)+len(s.remap))
 	return s.g.MemoryBytes() + state
+}
+
+// SetClusterPeers repoints a cluster session (one opened with
+// WithClusterPeers) at a new set of peer processes, keeping the accumulated
+// primal/dual state. This is the recovery path after ErrPeerLost: a failed
+// Update commits nothing, so once the lost peer is restarted — or replaced
+// by a different address — the same delta can be retried here. Calling it
+// on a non-cluster session turns the session's residual re-solves into
+// cluster solves from the next Update on.
+func (s *Session) SetClusterPeers(addrs ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.clusterPeers = append([]string(nil), addrs...)
 }
 
 // Updates returns the number of applied delta batches.
