@@ -54,7 +54,19 @@ func clusterRun(g *hypergraph.Hypergraph, cfg solveConfig, carry []float64) (*co
 	ccfg := cluster.Config{
 		Peers:      cfg.clusterPeers,
 		Partitions: cfg.clusterParts,
+		Logger:     cfg.logger,
 	}
+	if tr := cfg.effectiveTracer(); tr != nil {
+		ccfg.Tracer = tr
+	}
+	if cfg.recorder != nil {
+		ccfg.TraceID = cfg.recorder.TraceID()
+	}
+	stop := cfg.startSpan("cluster")
+	defer stop()
+	// The coordinator drives the peers itself; the core tracer hook set by
+	// startSpan is for the in-process runners and stays unused here.
+	cfg.core.Tracer = nil
 	var (
 		res *core.Result
 		err error

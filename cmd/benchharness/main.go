@@ -7,7 +7,7 @@
 //	benchharness [-exp all|T1|T2|E1..E14] [-quick] [-seed N] [-list]
 //	             [-json file] [-baseline file] [-writebaseline file]
 //	             [-tol frac] [-portable] [-suite names]
-//	             [-cpuprofile file] [-memprofile file]
+//	             [-cpuprofile file] [-memprofile file] [-trace]
 //
 // Full sweeps take a few minutes; -quick shrinks them to seconds. With
 // -json the results are additionally written to the given file as
@@ -30,7 +30,14 @@
 // -cpuprofile and -memprofile write pprof profiles covering the measured
 // work (the heap profile is taken after the run), so a CI bench job can
 // archive profiles alongside the readings and a regression can be
-// diagnosed from the artifacts without re-running locally.
+// diagnosed from the artifacts without re-running locally. For an
+// always-on view of the same hot paths on a running daemon, coverd
+// exposes the equivalent live handlers behind its -pprof flag.
+//
+// -trace runs one representative flat solve on the allocation-gate
+// fixture with the telemetry layer attached and prints the trace report
+// (per-iteration vertex/edge/gather timings, chunk imbalance) as JSON —
+// the command-line view of what coverd returns for "trace":true.
 package main
 
 import (
@@ -112,8 +119,21 @@ func run() error {
 		suites     = flag.String("suite", "engines,flat,sessions,cluster,allocs", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, cluster = E14 multi-process, allocs = hot-path allocation counts)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured work to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
+		traceRun   = flag.Bool("trace", false, "run one flat solve of the alloc-gate fixture with telemetry attached and print its trace report as JSON")
 	)
 	flag.Parse()
+	if *traceRun {
+		rep, err := sessions.TraceProbe()
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-3s %s\n", e.ID, e.Title)

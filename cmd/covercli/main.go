@@ -59,7 +59,7 @@ func run() error {
 		shards      = flag.Int("shards", 0, "with -sharded: shard count (0 = GOMAXPROCS)")
 		tcp         = flag.Bool("tcp", false, "with -congest: nodes talk over TCP loopback")
 		asJSON      = flag.Bool("json", false, "emit the result as JSON")
-		trace       = flag.Bool("trace", false, "print per-iteration dynamics")
+		trace       = flag.Bool("trace", false, "print per-iteration dynamics and the phase-timing telemetry report")
 		compareRun  = flag.Bool("compare", false, "run the Table 1/2 baselines side by side")
 		exactOpt    = flag.Bool("exact-opt", false, "audit against the exact optimum (small instances)")
 		genKind     = flag.String("gen", "", "generate an instance instead of solving (uniform, regular, graph, star, lollipop, powerlaw, geompath)")
@@ -143,8 +143,10 @@ func run() error {
 	if *tcp {
 		opts = append(opts, distcover.WithTCPEngine())
 	}
+	var rec *distcover.TraceRecorder
 	if *trace {
-		opts = append(opts, distcover.WithTrace())
+		rec = distcover.NewTraceRecorder("")
+		opts = append(opts, distcover.WithTrace(), distcover.WithTelemetry(rec))
 	}
 
 	if *compareRun {
@@ -168,7 +170,11 @@ func run() error {
 		out := struct {
 			*distcover.Solution
 			Congest *distcover.CongestStats `json:"congest,omitempty"`
-		}{sol, stats}
+			Report  *distcover.TraceReport  `json:"report,omitempty"`
+		}{Solution: sol, Congest: stats}
+		if rec != nil {
+			out.Report = rec.Report()
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
@@ -196,6 +202,11 @@ func run() error {
 				it.Iteration, it.Joined, it.CoveredEdges, it.LevelIncrements,
 				it.RaisedEdges, it.StuckVertices, it.ActiveVertices, it.ActiveEdges)
 		}
+		report, err := json.MarshalIndent(rec.Report(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: %s\n", report)
 	}
 	if *exactOpt {
 		if err := auditExact(inst, sol); err != nil {

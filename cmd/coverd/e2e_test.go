@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -97,6 +99,177 @@ func TestClusterE2EProcesses(t *testing.T) {
 				batch, cu.Session.Result.RatioBound, cu.Session.CertifiedBound)
 		}
 	}
+
+	// Traced cluster solve: the report must break the run down per
+	// iteration and per peer, and its trace id must appear in the slog
+	// output of the coordinator and both peer processes.
+	traced, err := c.Solve(ctx, inst, api.SolveOptions{Engine: api.EngineCluster, Trace: true})
+	if err != nil {
+		t.Fatalf("traced cluster solve: %v", err)
+	}
+	rep := traced.Report
+	if rep == nil {
+		t.Fatal("trace=true returned no report")
+	}
+	if rep.TraceID == "" || rep.Engine != "cluster" {
+		t.Fatalf("report lacks identity: trace_id=%q engine=%q", rep.TraceID, rep.Engine)
+	}
+	if len(rep.Iterations) < 2 {
+		t.Fatalf("report has %d iteration rows, want per-iteration detail", len(rep.Iterations))
+	}
+	var waited float64
+	for _, it := range rep.Iterations[1:] {
+		waited += it.BoundaryWaitSeconds + it.CoverageWaitSeconds
+	}
+	if waited <= 0 {
+		t.Fatal("report iterations carry no exchange wait timings")
+	}
+	if len(rep.Peers) != 2 {
+		t.Fatalf("report has %d peer rows, want 2", len(rep.Peers))
+	}
+	for _, p := range rep.Peers {
+		if p.Exchanges == 0 || p.BytesSent == 0 || p.BytesReceived == 0 {
+			t.Fatalf("peer %s row is empty: %+v", p.Peer, p)
+		}
+	}
+	// The untraced sessions above warm the cache for this instance+options
+	// identity; the traced solve must still have run for real.
+	if traced.Cached {
+		t.Fatal("traced solve was served from the cache")
+	}
+
+	// slog correlation: one trace id across all three processes.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, proc := range []struct {
+		name string
+		p    *coverdProc
+	}{{"coordinator", coord}, {"peer1", peer1}, {"peer2", peer2}} {
+		for !proc.p.logContains("trace_id=" + rep.TraceID) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s log never mentioned trace_id=%s", proc.name, rep.TraceID)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Every process must expose well-formed Prometheus text with the
+	// documented telemetry families; the cluster-exchange series must be
+	// populated on the coordinator (per peer address) and on the peers
+	// (peer="coordinator").
+	for _, proc := range []struct {
+		name string
+		p    *coverdProc
+	}{{"coordinator", coord}, {"peer1", peer1}, {"peer2", peer2}} {
+		text := scrapeMetrics(t, proc.p.httpAddr)
+		checkExposition(t, proc.name, text)
+		if !strings.Contains(text, "coverd_cluster_exchange_seconds_bucket{peer=") {
+			t.Fatalf("%s /metrics has no cluster exchange series", proc.name)
+		}
+		if !strings.Contains(text, `coverd_cluster_frames_total{direction="sent"}`) {
+			t.Fatalf("%s /metrics has no cluster frame counters", proc.name)
+		}
+	}
+	coordText := scrapeMetrics(t, coord.httpAddr)
+	for _, peerAddr := range []string{peer1.peerAddr, peer2.peerAddr} {
+		if !strings.Contains(coordText, fmt.Sprintf("peer=%q", peerAddr)) {
+			t.Fatalf("coordinator /metrics lacks exchange series for peer %s", peerAddr)
+		}
+	}
+	for _, p := range []*coverdProc{peer1, peer2} {
+		if !strings.Contains(scrapeMetrics(t, p.httpAddr), `engine="cluster-peer"`) {
+			t.Fatal("peer /metrics lacks cluster-peer phase series")
+		}
+	}
+}
+
+// requiredMetricFamilies is the documented metric surface; every name must
+// appear with HELP and TYPE on every coverd process.
+var requiredMetricFamilies = []string{
+	"coverd_solves_total",
+	"coverd_cache_hits_total",
+	"coverd_cache_misses_total",
+	"coverd_backpressure_total",
+	"coverd_jobs_submitted_total",
+	"coverd_batch_requests_total",
+	"coverd_sessions_created_total",
+	"coverd_session_updates_total",
+	"coverd_solve_seconds",
+	"coverd_solve_phase_seconds",
+	"coverd_cluster_exchange_seconds",
+	"coverd_cluster_boundary_bytes_total",
+	"coverd_cluster_frames_total",
+	"coverd_job_queue_wait_seconds",
+	"coverd_queue_depth",
+	"coverd_queue_capacity",
+	"coverd_workers",
+	"coverd_cache_entries",
+	"coverd_sessions",
+	"coverd_session_bytes",
+	"coverd_session_bytes_budget",
+}
+
+func scrapeMetrics(t *testing.T, httpAddr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", httpAddr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape %s: status %d, err %v", httpAddr, resp.StatusCode, err)
+	}
+	return string(body)
+}
+
+// checkExposition asserts the scrape parses as Prometheus text exposition
+// (every line a HELP/TYPE comment or `name{labels} value`) and that every
+// documented family is present.
+func checkExposition(t *testing.T, name, text string) {
+	t.Helper()
+	help := map[string]bool{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("%s: blank line in exposition", name)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			help[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				t.Fatalf("%s: malformed TYPE line %q", name, line)
+			}
+			typed[f[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("%s: unexpected comment %q", name, line)
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("%s: sample line %q is not `name value`", name, line)
+		}
+		metric := f[0]
+		if i := strings.IndexByte(metric, '{'); i >= 0 {
+			if !strings.HasSuffix(metric, "}") {
+				t.Fatalf("%s: unbalanced label braces in %q", name, line)
+			}
+			metric = metric[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(metric,
+			"_bucket"), "_sum"), "_count")
+		if !typed[metric] && !typed[base] {
+			t.Fatalf("%s: sample %q has no TYPE header", name, line)
+		}
+	}
+	for _, fam := range requiredMetricFamilies {
+		if !help[fam] || !typed[fam] {
+			t.Fatalf("%s: family %s missing HELP/TYPE (help=%t type=%t)", name, fam, help[fam], typed[fam])
+		}
+	}
 }
 
 func requireSameSession(t *testing.T, label string, got, want *api.SessionInfo) {
@@ -111,15 +284,44 @@ func requireSameSession(t *testing.T, label string, got, want *api.SessionInfo) 
 	}
 }
 
-// coverdProc is one spawned daemon with its discovered listen addresses.
+// coverdProc is one spawned daemon with its discovered listen addresses
+// and its captured structured log.
 type coverdProc struct {
 	httpAddr string
 	peerAddr string
+
+	mu  sync.Mutex
+	log []string
 }
 
-// startCoverd spawns the binary and scans its stderr log for the ephemeral
-// HTTP and peer addresses (both listeners bind :0; the log is the only
-// place the chosen ports appear).
+// logContains reports whether any captured stderr line contains s.
+func (p *coverdProc) logContains(s string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, line := range p.log {
+		if strings.Contains(line, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// logAttr extracts a slog TextHandler `key=value` attribute from a line
+// ("" when absent). Values with spaces are quoted by the handler, but the
+// addresses and trace ids this test reads never contain them.
+func logAttr(line, key string) string {
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}
+
+// startCoverd spawns the binary and scans its stderr slog output for the
+// ephemeral HTTP and peer addresses (both listeners bind :0; the log is
+// the only place the chosen ports appear). The full stderr keeps being
+// captured for trace-id correlation checks.
 func startCoverd(t *testing.T, bin string, args ...string) *coverdProc {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
@@ -135,7 +337,6 @@ func startCoverd(t *testing.T, bin string, args ...string) *coverdProc {
 		cmd.Wait()
 	})
 	p := &coverdProc{}
-	var mu sync.Mutex
 	ready := make(chan struct{})
 	wantPeer := false
 	for i, a := range args {
@@ -148,15 +349,16 @@ func startCoverd(t *testing.T, bin string, args ...string) *coverdProc {
 		signaled := false
 		for sc.Scan() {
 			line := sc.Text()
-			mu.Lock()
-			if _, addr, ok := strings.Cut(line, "listening on "); ok && p.httpAddr == "" {
-				p.httpAddr = strings.Fields(addr)[0]
+			p.mu.Lock()
+			p.log = append(p.log, line)
+			if strings.Contains(line, "coverd: listening on") && p.httpAddr == "" {
+				p.httpAddr = logAttr(line, "addr")
 			}
-			if _, addr, ok := strings.Cut(line, "peer protocol on "); ok && p.peerAddr == "" {
-				p.peerAddr = strings.Fields(addr)[0]
+			if strings.Contains(line, "coverd: peer protocol on") && p.peerAddr == "" {
+				p.peerAddr = logAttr(line, "addr")
 			}
 			done := p.httpAddr != "" && (!wantPeer || p.peerAddr != "")
-			mu.Unlock()
+			p.mu.Unlock()
 			if done && !signaled {
 				signaled = true
 				close(ready)
@@ -169,7 +371,5 @@ func startCoverd(t *testing.T, bin string, args ...string) *coverdProc {
 	case <-time.After(30 * time.Second):
 		t.Fatalf("coverd %v did not announce its listeners in time", args)
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	return &coverdProc{httpAddr: p.httpAddr, peerAddr: p.peerAddr}
+	return p
 }

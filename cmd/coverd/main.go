@@ -6,6 +6,7 @@
 //
 //	coverd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-batch N]
 //	       [-peer-listen addr] [-peers a,b,c] [-partition N]
+//	       [-log-level info] [-pprof]
 //	coverd -loadgen [-target URL] [-requests N] [-concurrency C]
 //	       [-pool K] [-gen kind] [-n N] [-m M] [-f F] [-eps ε] [-seed S]
 //
@@ -25,9 +26,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +56,10 @@ func main() {
 			"comma-separated peer-protocol addresses of other coverd processes; enables the \"cluster\" engine for solves and sessions")
 		partition = flag.Int("partition", 0,
 			"default partition count for cluster solves (0 = one per peer)")
+		logLevel = flag.String("log-level", "info",
+			"minimum structured-log level (debug, info, warn, error)")
+		pprofOn = flag.Bool("pprof", false,
+			"expose net/http/pprof handlers under /debug/pprof/ (off by default)")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target      = flag.String("target", "", "with -loadgen: server URL (empty = self-host in-process)")
@@ -92,6 +98,13 @@ func main() {
 		return
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "coverd: -log-level:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	var peerAddrs []string
 	for _, a := range strings.Split(*peers, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -107,6 +120,7 @@ func main() {
 		SessionMemoryBudget: *sessMem,
 		ClusterPeers:        peerAddrs,
 		ClusterPartitions:   *partition,
+		Logger:              logger,
 	})
 	defer srv.Close()
 
@@ -117,17 +131,18 @@ func main() {
 			os.Exit(1)
 		}
 		peer := cluster.NewPeer()
-		peer.Logf = log.Printf
+		peer.Logger = logger
+		peer.Tracer = srv.Metrics().ClusterTracer()
 		defer peer.Close()
 		go func() {
 			// A dead peer listener degrades this process to HTTP-only (a
 			// coordinator sees ErrPeerLost and retries elsewhere); it must
 			// not take the healthy HTTP side down with it.
 			if err := peer.Serve(pln); err != nil && err != cluster.ErrPeerClosed {
-				log.Printf("coverd: peer serve: %v (peer mode disabled)", err)
+				logger.Warn("coverd: peer serve failed; peer mode disabled", "err", err)
 			}
 		}()
-		log.Printf("coverd: peer protocol on %s", pln.Addr())
+		logger.Info("coverd: peer protocol on", "addr", pln.Addr().String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -135,20 +150,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "coverd:", err)
 		os.Exit(1)
 	}
-	log.Printf("coverd: listening on %s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), srv.Workers(), *queueN, *cacheN)
+	logger.Info("coverd: listening on",
+		"addr", ln.Addr().String(), "workers", srv.Workers(), "queue", *queueN, "cache", *cacheN, "pprof", *pprofOn)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling stays off unless asked for: the pprof handlers expose
+		// internals (command line, heap contents) that do not belong on an
+		// open solve endpoint.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("coverd: serve: %v", err)
+			logger.Error("coverd: serve failed", "err", err)
+			os.Exit(1)
 		}
 	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("coverd: shutting down")
+	logger.Info("coverd: shutting down")
 	// Let in-flight requests (and the solves they wait on) finish before
 	// closing; force-close if draining takes too long.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

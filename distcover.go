@@ -217,6 +217,11 @@ func Solve(in *Instance, opts ...Option) (*Solution, error) {
 		return nil, ErrNilInstance
 	}
 	cfg := optConfig(opts)
+	engine := "sim"
+	if cfg.flat {
+		engine = "flat"
+	}
+	stop := cfg.startSpan(engine)
 	var (
 		res *core.Result
 		err error
@@ -226,6 +231,7 @@ func Solve(in *Instance, opts ...Option) (*Solution, error) {
 	} else {
 		res, err = core.Run(in.g, cfg.core)
 	}
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("distcover: %w", err)
 	}
@@ -241,8 +247,10 @@ func SolveCongest(in *Instance, opts ...Option) (*Solution, *CongestStats, error
 		return nil, nil, ErrNilInstance
 	}
 	ecfg := optConfig(opts)
+	stop := ecfg.startSpan(ecfg.congestEngineName())
 	cfg := ecfg.core
 	res, metrics, err := core.RunCongest(in.g, cfg, ecfg.buildEngine(), congest.Options{Validate: true})
+	stop()
 	if err != nil {
 		return nil, nil, fmt.Errorf("distcover: %w", err)
 	}

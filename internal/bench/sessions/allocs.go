@@ -9,6 +9,9 @@ import (
 	"distcover/internal/bench"
 )
 
+// flatWorkers is the fixed flat-runner worker count of the probes.
+const flatWorkers = 4
+
 // MeasureAllocs counts heap allocations on the hot paths the ROADMAP asks
 // to gate machine-independently: a full lockstep solve, the same solve on
 // the chunk-parallel flat runner, and a session delta batch. Allocation
@@ -18,10 +21,10 @@ import (
 // tolerances are too loose to provide.
 //
 // The probes use a fixed instance independent of quick/full mode, so the
-// quick CI run re-measures exactly the committed values. The flat probe
-// pins the worker count (rather than GOMAXPROCS) for the same reason: the
-// pool's per-worker scratch allocates per worker, and the committed count
-// must not depend on the machine's core count.
+// quick CI run re-measures exactly the committed values. The flat probes
+// pin the worker count to flatWorkers (rather than GOMAXPROCS) for the
+// same reason: the pool's per-worker scratch allocates per worker, and
+// the committed count must not depend on the machine's core count.
 func MeasureAllocs(bench.Config) ([]bench.Measurement, []bench.Table, error) {
 	inst, delta, err := allocProbeFixture()
 	if err != nil {
@@ -32,7 +35,6 @@ func MeasureAllocs(bench.Config) ([]bench.Measurement, []bench.Table, error) {
 			panic(err)
 		}
 	})
-	const flatWorkers = 4
 	flatAllocs := testing.AllocsPerRun(20, func() {
 		if _, err := distcover.Solve(inst, distcover.WithFlatEngine(), distcover.WithSolverParallelism(flatWorkers)); err != nil {
 			panic(err)
@@ -57,6 +59,22 @@ func MeasureAllocs(bench.Config) ([]bench.Measurement, []bench.Table, error) {
 		{Name: "allocs/session/update", Value: updateAllocs, Unit: "allocs", Tolerance: 0.001},
 	}
 	return ms, []bench.Table{t}, nil
+}
+
+// TraceProbe runs one flat solve of the alloc-gate fixture with a
+// telemetry recorder attached and returns its trace report — the
+// benchharness -trace mode.
+func TraceProbe() (*distcover.TraceReport, error) {
+	inst, _, err := allocProbeFixture()
+	if err != nil {
+		return nil, err
+	}
+	rec := distcover.NewTraceRecorder("")
+	if _, err := distcover.Solve(inst, distcover.WithFlatEngine(),
+		distcover.WithSolverParallelism(flatWorkers), distcover.WithTelemetry(rec)); err != nil {
+		return nil, err
+	}
+	return rec.Report(), nil
 }
 
 // allocProbeFixture builds the fixed instance and delta the probes run on.

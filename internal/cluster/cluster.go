@@ -25,11 +25,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"time"
 
 	"distcover/internal/core"
 	"distcover/internal/hypergraph"
+	"distcover/internal/telemetry"
 )
 
 // DefaultTimeout bounds every per-connection network operation (dial, one
@@ -60,6 +62,16 @@ type Config struct {
 	Partitions int
 	// Timeout bounds dial and every frame read (0 = DefaultTimeout).
 	Timeout time.Duration
+	// TraceID correlates this solve across coordinator and peer logs; it
+	// rides in the hello and setup frames. Empty generates a fresh id.
+	TraceID string
+	// Logger receives structured coordinator-side log lines (nil =
+	// silent). Every line carries the trace_id attr; per-peer lines also
+	// carry peer_addr.
+	Logger *slog.Logger
+	// Tracer receives per-peer exchange latency and frame accounting
+	// hooks (nil = disabled, strictly zero overhead).
+	Tracer telemetry.Tracer
 }
 
 func (c Config) timeout() time.Duration {
@@ -84,15 +96,17 @@ func SolveResidual(g *hypergraph.Hypergraph, opts core.Options, carry []float64,
 	return run(g, opts, carry, cfg)
 }
 
-// peerConn is one coordinator-side connection.
+// peerConn is one coordinator-side connection. tr is the coordinator's
+// tracer (nil = disabled); sends and reads account their frames on it.
 type peerConn struct {
 	addr string
 	conn net.Conn
+	tr   telemetry.Tracer
 }
 
 // run partitions g, distributes the shares, relays the iteration exchanges
 // and assembles the merged result.
-func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Config) (*core.Result, error) {
+func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Config) (res *core.Result, err error) {
 	if len(cfg.Peers) == 0 {
 		return nil, ErrNoPeers
 	}
@@ -110,6 +124,28 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 	}
 	bounds := core.PlanPartitions(g, parts)
 	np := len(bounds) - 1
+
+	traceID := cfg.TraceID
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	lg, tr := cfg.Logger, cfg.Tracer
+	startT := time.Now()
+	if lg != nil {
+		lg.Info("cluster: solve start", "trace_id", traceID,
+			"partitions", np, "peers", len(cfg.Peers),
+			"vertices", g.NumVertices(), "edges", g.NumEdges(), "warm", carry != nil)
+		defer func() {
+			if err != nil {
+				lg.Warn("cluster: solve failed", "trace_id", traceID,
+					"elapsed", time.Since(startT), "err", err)
+			} else {
+				lg.Info("cluster: solve done", "trace_id", traceID,
+					"elapsed", time.Since(startT),
+					"iterations", res.Iterations, "rounds", res.Rounds)
+			}
+		}()
+	}
 
 	instJSON, err := json.Marshal(g)
 	if err != nil {
@@ -129,22 +165,32 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		if err != nil {
 			return nil, lost(addr, "dial", err)
 		}
-		pc := &peerConn{addr: addr, conn: conn}
+		pc := &peerConn{addr: addr, conn: conn, tr: tr}
 		conns = append(conns, pc)
-		if err := writeJSONFrameTimeout(conn, d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {
+		if err := pc.sendJSON(d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion, TraceID: traceID}); err != nil {
 			return nil, lost(addr, "hello", err)
 		}
-		if err := expectHello(conn, d); err != nil {
-			return nil, lost(addr, "hello", err)
+		payload, err := pc.expect(ftHello, d)
+		if err != nil {
+			return nil, err
 		}
-		if err := writeJSONFrameTimeout(conn, d, ftSetup, setupFrame{
+		if _, err := parseHello(payload); err != nil {
+			return nil, protocolErr(addr, err)
+		}
+		if err := pc.sendJSON(d, ftSetup, setupFrame{
 			Instance: instJSON,
 			Carry:    carry,
 			Options:  toSetupOptions(opts),
 			Bounds:   bounds,
 			Part:     p,
+			TraceID:  traceID,
 		}); err != nil {
 			return nil, lost(addr, "setup", err)
+		}
+		if lg != nil {
+			lg.Debug("cluster: partition dispatched", "trace_id", traceID,
+				"peer_addr", addr, "part", p,
+				"range_lo", bounds[p], "range_hi", bounds[p+1])
 		}
 	}
 
@@ -159,9 +205,16 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 	for uncovered > 0 {
 		iteration++
 		for i, pc := range conns {
+			var waitT time.Time
+			if tr != nil {
+				waitT = time.Now()
+			}
 			payload, err := pc.expect(ftBoundary, d)
 			if err != nil {
 				return nil, err
+			}
+			if tr != nil {
+				tr.Exchange(pc.addr, telemetry.ExchangeBoundary, iteration, time.Since(waitT))
 			}
 			it, fr, err := decodeBoundary(payload)
 			if err != nil {
@@ -177,15 +230,22 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		}
 		combined = encodeCombinedBoundary(combined, iteration, payloads)
 		for _, pc := range conns {
-			if err := writeFrameTimeout(pc.conn, d, ftAllB, combined); err != nil {
+			if err := pc.send(d, ftAllB, combined); err != nil {
 				return nil, lost(pc.addr, "combined boundary", err)
 			}
 		}
 		total := 0
 		for _, pc := range conns {
+			var waitT time.Time
+			if tr != nil {
+				waitT = time.Now()
+			}
 			payload, err := pc.expect(ftCoverage, d)
 			if err != nil {
 				return nil, err
+			}
+			if tr != nil {
+				tr.Exchange(pc.addr, telemetry.ExchangeCoverage, iteration, time.Since(waitT))
 			}
 			it, covered, err := decodeCoverage(payload)
 			if err != nil {
@@ -202,7 +262,7 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		var cbuf []byte
 		cbuf = encodeCoverage(cbuf, iteration, total)
 		for _, pc := range conns {
-			if err := writeFrameTimeout(pc.conn, d, ftAllC, cbuf); err != nil {
+			if err := pc.send(d, ftAllC, cbuf); err != nil {
 				return nil, lost(pc.addr, "combined coverage", err)
 			}
 		}
@@ -221,11 +281,31 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		}
 		partials[i] = frameToPartial(fr)
 	}
-	res, err := core.AssembleParts(g, opts, partials)
+	res, err = core.AssembleParts(g, opts, partials)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: assemble: %w", err)
 	}
 	return res, nil
+}
+
+// send writes one frame to the peer, accounting it on the tracer.
+func (pc *peerConn) send(d time.Duration, ft byte, payload []byte) error {
+	if err := writeFrameTimeout(pc.conn, d, ft, payload); err != nil {
+		return err
+	}
+	if pc.tr != nil {
+		pc.tr.Frame(pc.addr, telemetry.DirSent, frameName(ft), frameWireBytes(len(payload)))
+	}
+	return nil
+}
+
+// sendJSON marshals v and sends it as one frame of type ft.
+func (pc *peerConn) sendJSON(d time.Duration, ft byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return pc.send(d, ft, payload)
 }
 
 // expect reads one frame of the wanted type from the peer, translating
@@ -235,6 +315,9 @@ func (pc *peerConn) expect(want byte, d time.Duration) ([]byte, error) {
 	ft, payload, err := readFrameTimeout(pc.conn, d)
 	if err != nil {
 		return nil, lost(pc.addr, "read", err)
+	}
+	if pc.tr != nil {
+		pc.tr.Frame(pc.addr, telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
 	}
 	if ft == ftError {
 		var ef errorFrame

@@ -155,7 +155,7 @@ func dropAfterBoundary(t *testing.T) (addr string, stop func()) {
 			}
 			func() {
 				defer conn.Close()
-				if err := expectHello(conn, time.Second); err != nil {
+				if _, err := expectHello(conn, time.Second); err != nil {
 					return
 				}
 				if err := writeJSONFrame(conn, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {

@@ -48,6 +48,33 @@ const (
 	protoVersion = 1
 )
 
+// frameName maps a frame type to the label telemetry and logs use.
+func frameName(ft byte) string {
+	switch ft {
+	case ftHello:
+		return "hello"
+	case ftSetup:
+		return "setup"
+	case ftBoundary:
+		return "boundary"
+	case ftAllB:
+		return "allb"
+	case ftCoverage:
+		return "coverage"
+	case ftAllC:
+		return "allc"
+	case ftResult:
+		return "result"
+	case ftError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// frameWireBytes is the full on-wire size of a frame with the given
+// payload length (the 5-byte header plus payload).
+func frameWireBytes(payloadLen int) int { return payloadLen + 5 }
+
 // maxFrameBytes bounds a single frame; a corrupt length prefix must not
 // drive an allocation of gigabytes.
 const maxFrameBytes = 1 << 28
@@ -58,10 +85,14 @@ var (
 	ErrBadFrame      = errors.New("cluster: malformed frame")
 )
 
-// helloFrame opens a connection in both directions.
+// helloFrame opens a connection in both directions. TraceID correlates
+// one cluster solve across coordinator and peer logs; it is additive
+// (omitted when empty), so version 1 peers and coordinators interoperate
+// regardless of which side sends it.
 type helloFrame struct {
 	Magic   string `json:"magic"`
 	Version int    `json:"version"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // setupOptions is the JSON form of the core.Options subset a cluster solve
@@ -126,6 +157,9 @@ type setupFrame struct {
 	Options  setupOptions    `json:"options"`
 	Bounds   []int           `json:"bounds"`
 	Part     int             `json:"part"`
+	// TraceID of the solve this setup belongs to (additive, see
+	// helloFrame).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // resultFrame is a peer's PartialResult in JSON (floats round-trip exactly

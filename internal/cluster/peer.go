@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"syscall"
@@ -11,6 +12,7 @@ import (
 
 	"distcover/internal/core"
 	"distcover/internal/hypergraph"
+	"distcover/internal/telemetry"
 )
 
 // Peer serves one partition's share of cluster solves. A coverd process in
@@ -25,8 +27,16 @@ type Peer struct {
 	// It is the self-defense against a wedged coordinator: a peer parked in
 	// an exchange read frees its goroutine when the deadline fires.
 	Timeout time.Duration
-	// Logf, when set, receives per-connection failure diagnostics.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives structured per-connection diagnostics and
+	// partition-solve progress lines (nil = silent). Solve lines carry the
+	// trace_id propagated in the hello/setup frames and the peer_addr this
+	// peer serves on, so one cluster solve is correlated across the
+	// coordinator's and every peer's logs.
+	Logger *slog.Logger
+	// Tracer, when set, receives the partition runner's phase timings and
+	// this peer's frame accounting for every connection served (coverd
+	// wires its Prometheus adapter here). nil = disabled, zero overhead.
+	Tracer telemetry.Tracer
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -72,7 +82,7 @@ func (p *Peer) Serve(ln net.Listener) error {
 				} else if backoff *= 2; backoff > time.Second {
 					backoff = time.Second
 				}
-				p.logf("cluster peer: accept: %v (retrying in %v)", err, backoff)
+				p.logWarn("cluster peer: accept retry", "err", err, "backoff", backoff)
 				time.Sleep(backoff)
 				continue
 			}
@@ -97,7 +107,8 @@ func (p *Peer) Serve(ln net.Listener) error {
 				conn.Close()
 			}()
 			if err := p.handle(conn); err != nil {
-				p.logf("cluster peer: %s: %v", conn.RemoteAddr(), err)
+				p.logWarn("cluster peer: connection failed",
+					"remote", conn.RemoteAddr().String(), "err", err)
 			}
 		}()
 	}
@@ -125,9 +136,15 @@ func (p *Peer) Close() error {
 	return err
 }
 
-func (p *Peer) logf(format string, args ...any) {
-	if p.Logf != nil {
-		p.Logf(format, args...)
+func (p *Peer) logInfo(msg string, args ...any) {
+	if p.Logger != nil {
+		p.Logger.Info(msg, args...)
+	}
+}
+
+func (p *Peer) logWarn(msg string, args ...any) {
+	if p.Logger != nil {
+		p.Logger.Warn(msg, args...)
 	}
 }
 
@@ -144,10 +161,13 @@ func (p *Peer) timeout() time.Duration {
 // connection (the coordinator sees them as ErrPeerLost).
 func (p *Peer) handle(conn net.Conn) error {
 	d := p.timeout()
-	if err := expectHello(conn, d); err != nil {
+	hello, err := expectHello(conn, d)
+	if err != nil {
 		return err
 	}
-	if err := writeJSONFrameTimeout(conn, d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {
+	// Echo the coordinator's trace id in the reply so either side's log
+	// carries it from the handshake on.
+	if err := writeJSONFrameTimeout(conn, d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion, TraceID: hello.TraceID}); err != nil {
 		return err
 	}
 	ft, payload, err := readFrameTimeout(conn, d)
@@ -161,18 +181,37 @@ func (p *Peer) handle(conn net.Conn) error {
 	if err := json.Unmarshal(payload, &setup); err != nil {
 		return fmt.Errorf("%w: setup: %v", ErrBadFrame, err)
 	}
+	traceID := setup.TraceID
+	if traceID == "" {
+		traceID = hello.TraceID
+	}
 	var g hypergraph.Hypergraph
 	if err := g.UnmarshalJSON(setup.Instance); err != nil {
 		return sendError(conn, d, fmt.Errorf("decode instance: %w", err))
 	}
-	ex := &connExchanger{conn: conn, timeout: d}
-	partial, err := core.RunPartition(&g, setup.Options.coreOptions(), setup.Carry, setup.Bounds, setup.Part, ex)
+	start := time.Now()
+	peerAddr := conn.LocalAddr().String()
+	p.logInfo("cluster peer: partition start", "trace_id", traceID,
+		"peer_addr", peerAddr, "part", setup.Part,
+		"vertices", g.NumVertices(), "edges", g.NumEdges())
+	opts := setup.Options.coreOptions()
+	if p.Tracer != nil {
+		opts.Tracer = p.Tracer
+	}
+	ex := &connExchanger{conn: conn, timeout: d, tr: p.Tracer}
+	partial, err := core.RunPartition(&g, opts, setup.Carry, setup.Bounds, setup.Part, ex)
 	if err != nil {
+		p.logWarn("cluster peer: partition failed", "trace_id", traceID,
+			"peer_addr", peerAddr, "part", setup.Part,
+			"elapsed", time.Since(start), "err", err)
 		if isTransportErr(err) {
 			return err
 		}
 		return sendError(conn, d, err)
 	}
+	p.logInfo("cluster peer: partition done", "trace_id", traceID,
+		"peer_addr", peerAddr, "part", setup.Part,
+		"iterations", partial.Iterations, "elapsed", time.Since(start))
 	return writeJSONFrameTimeout(conn, d, ftResult, partialToFrame(partial))
 }
 
@@ -203,22 +242,27 @@ func isTemporaryAcceptErr(err error) bool {
 		errors.Is(err, syscall.ECONNABORTED)
 }
 
-func expectHello(conn net.Conn, d time.Duration) error {
+func expectHello(conn net.Conn, d time.Duration) (helloFrame, error) {
 	ft, payload, err := readFrameTimeout(conn, d)
 	if err != nil {
-		return err
+		return helloFrame{}, err
 	}
 	if ft != ftHello {
-		return fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, ft)
+		return helloFrame{}, fmt.Errorf("%w: expected hello, got type %d", ErrBadFrame, ft)
 	}
+	return parseHello(payload)
+}
+
+// parseHello unmarshals and validates a hello payload.
+func parseHello(payload []byte) (helloFrame, error) {
 	var h helloFrame
 	if err := json.Unmarshal(payload, &h); err != nil {
-		return fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
+		return helloFrame{}, fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
 	}
 	if h.Magic != protoMagic || h.Version != protoVersion {
-		return fmt.Errorf("%w: hello %q v%d (want %q v%d)", ErrBadFrame, h.Magic, h.Version, protoMagic, protoVersion)
+		return helloFrame{}, fmt.Errorf("%w: hello %q v%d (want %q v%d)", ErrBadFrame, h.Magic, h.Version, protoMagic, protoVersion)
 	}
-	return nil
+	return h, nil
 }
 
 // readFrameTimeout reads one frame under a deadline.
@@ -251,10 +295,13 @@ func writeJSONFrameTimeout(conn net.Conn, d time.Duration, ft byte, v any) error
 
 // connExchanger implements core.Exchanger over the peer's coordinator
 // connection: it publishes the local frame and blocks for the combined one.
+// tr, when set, accounts the wire frames with peer "" (the partition
+// runner's one peer is the coordinator).
 type connExchanger struct {
 	conn    net.Conn
 	timeout time.Duration
 	buf     []byte
+	tr      telemetry.Tracer
 }
 
 func (e *connExchanger) ExchangeBoundary(iteration int, local core.BoundaryFrame) ([]core.BoundaryFrame, error) {
@@ -262,9 +309,15 @@ func (e *connExchanger) ExchangeBoundary(iteration int, local core.BoundaryFrame
 	if err := writeFrameTimeout(e.conn, e.timeout, ftBoundary, e.buf); err != nil {
 		return nil, err
 	}
+	if e.tr != nil {
+		e.tr.Frame("", telemetry.DirSent, frameName(ftBoundary), frameWireBytes(len(e.buf)))
+	}
 	ft, payload, err := readFrameTimeout(e.conn, e.timeout)
 	if err != nil {
 		return nil, err
+	}
+	if e.tr != nil {
+		e.tr.Frame("", telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
 	}
 	if ft != ftAllB {
 		return nil, fmt.Errorf("%w: expected combined boundary, got type %d", ErrBadFrame, ft)
@@ -284,9 +337,15 @@ func (e *connExchanger) ExchangeCoverage(iteration, covered int) (int, error) {
 	if err := writeFrameTimeout(e.conn, e.timeout, ftCoverage, e.buf); err != nil {
 		return 0, err
 	}
+	if e.tr != nil {
+		e.tr.Frame("", telemetry.DirSent, frameName(ftCoverage), frameWireBytes(len(e.buf)))
+	}
 	ft, payload, err := readFrameTimeout(e.conn, e.timeout)
 	if err != nil {
 		return 0, err
+	}
+	if e.tr != nil {
+		e.tr.Frame("", telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
 	}
 	if ft != ftAllC {
 		return 0, fmt.Errorf("%w: expected combined coverage, got type %d", ErrBadFrame, ft)

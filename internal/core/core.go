@@ -37,6 +37,7 @@ import (
 	"math"
 
 	"distcover/internal/hypergraph"
+	"distcover/internal/telemetry"
 )
 
 // Variant selects which version of the algorithm runs.
@@ -123,6 +124,11 @@ type Options struct {
 	// aborts with ErrInvariantViolated on failure. Costs O(n+m) per
 	// iteration; meant for tests and debugging.
 	CheckInvariants bool
+	// Tracer receives phase-timing hooks from the runners when non-nil.
+	// The nil default is strictly zero-overhead: the hot loops only ever
+	// test the field, so the exactly-gated allocation counts are
+	// unaffected.
+	Tracer telemetry.Tracer
 }
 
 // DefaultOptions returns the configuration used throughout the paper's

@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"distcover/internal/hypergraph"
+	"distcover/internal/telemetry"
 )
 
 // This file implements the flat engine: a chunk-parallel execution of the
@@ -79,6 +81,11 @@ type flatRun struct {
 	work     chan int
 	phaseWG  sync.WaitGroup
 	workerWG sync.WaitGroup
+
+	// chunkNS holds per-chunk wall-clock of the phase in flight for the
+	// chunk-imbalance telemetry. Allocated only when a tracer is set, so
+	// the default path's exact allocation gate is untouched.
+	chunkNS []int64
 }
 
 // runLockstepFlat mirrors runLockstep phase for phase; see that function
@@ -101,6 +108,9 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 		addE:      make([]float64, m),
 		newly:     make([]bool, m),
 		partStats: make([]IterationStats, workers),
+	}
+	if opts.Tracer != nil {
+		r.chunkNS = make([]int64, workers)
 	}
 	// The CSR offset arrays are themselves the cumulative volumes the
 	// chunks are balanced on — no per-solve derivation.
@@ -130,7 +140,17 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 		maxIter = defaultIterationCap(f, eps, g.MaxDegree(), globalAlpha)
 	}
 
+	// Telemetry hooks: tr is nil on the default path, where the only cost
+	// is the nil tests — no timestamps, no allocations.
+	tr := opts.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	r.initIterationZero(carry)
+	if tr != nil {
+		tr.Phase(0, telemetry.PhaseInit, time.Since(t0), r.maxChunkDur())
+	}
 
 	res := &Result{
 		Z:       ZLevels(f, eps),
@@ -145,9 +165,23 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 		res.Iterations++
 		var its IterationStats
 		its.Iteration = res.Iterations
+		if tr != nil {
+			t0 = time.Now()
+		}
 		r.vertexPhase(&its)
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseVertex, time.Since(t0), r.maxChunkDur())
+			t0 = time.Now()
+		}
 		r.edgePhase(&its)
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseEdge, time.Since(t0), r.maxChunkDur())
+			t0 = time.Now()
+		}
 		r.gatherPhase()
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseGather, time.Since(t0), r.maxChunkDur())
+		}
 		if opts.CheckInvariants {
 			if err := st.checkInvariants(res.Iterations, res.Z); err != nil {
 				return nil, err
@@ -171,6 +205,14 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 // (inline when the run is single-worker). The surrounding barrier provides
 // the happens-before edges between phases.
 func (r *flatRun) forChunks(fn func(chunk int)) {
+	if r.chunkNS != nil {
+		inner := fn
+		fn = func(chunk int) {
+			t0 := time.Now()
+			inner(chunk)
+			r.chunkNS[chunk] = int64(time.Since(t0))
+		}
+	}
 	if r.workers == 1 {
 		fn(0)
 		return
@@ -181,6 +223,18 @@ func (r *flatRun) forChunks(fn func(chunk int)) {
 		r.work <- c
 	}
 	r.phaseWG.Wait()
+}
+
+// maxChunkDur returns the longest chunk of the most recent parallel-for
+// (tracing only; 0 when tracing is off).
+func (r *flatRun) maxChunkDur() time.Duration {
+	var max int64
+	for _, ns := range r.chunkNS {
+		if ns > max {
+			max = ns
+		}
+	}
+	return time.Duration(max)
 }
 
 // initIterationZero is the parallel form of state.initIterationZero: vertex

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"distcover/internal/congest"
 	"distcover/internal/hypergraph"
+	"distcover/internal/telemetry"
 )
 
 // This file implements the Appendix B CONGEST execution of Algorithm MWHVC.
@@ -526,7 +528,18 @@ func RunBuiltNetwork(g *hypergraph.Hypergraph, opts Options, nw *congest.Network
 	if congestOpts.MaxRounds == 0 {
 		congestOpts.MaxRounds = 4 * congest.DefaultMaxRounds
 	}
+	// The message engines have no phase boundaries to hook; telemetry gets
+	// one protocol-level span plus the round/message totals.
+	tr := opts.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	metrics, err := eng.Run(nw, congestOpts)
+	if tr != nil {
+		tr.Phase(0, telemetry.PhaseProtocol, time.Since(t0), 0)
+		tr.Protocol(metrics.Rounds, metrics.Messages)
+	}
 	if err != nil {
 		return nil, metrics, fmt.Errorf("core: congest run: %w", err)
 	}

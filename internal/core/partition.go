@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"distcover/internal/hypergraph"
+	"distcover/internal/telemetry"
 )
 
 // This file implements the partitioned runner behind multi-process cover
@@ -194,7 +196,18 @@ func RunPartition(g *hypergraph.Hypergraph, opts Options, carry []float64, bound
 		maxIter = defaultIterationCap(f, eps, g.MaxDegree(), globalAlpha)
 	}
 
+	// Telemetry hooks: tr is nil on the default path, where the only cost
+	// is the nil tests. The exchange waits are recorded with peer "" —
+	// from a partition's view the one peer is the coordinator.
+	tr := opts.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	r.initIterationZero(carry)
+	if tr != nil {
+		tr.Phase(0, telemetry.PhaseInit, time.Since(t0), 0)
+	}
 
 	res := &PartialResult{
 		Part:    part,
@@ -212,19 +225,43 @@ func RunPartition(g *hypergraph.Hypergraph, opts Options, carry []float64, bound
 				ErrIterationLimit, res.Iterations, uncovered)
 		}
 		res.Iterations++
+		if tr != nil {
+			t0 = time.Now()
+		}
 		r.vertexPhase()
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseVertex, time.Since(t0), 0)
+			t0 = time.Now()
+		}
 		frames, err := ex.ExchangeBoundary(res.Iterations, BoundaryFrame{Part: part, States: r.fillFrame()})
 		if err != nil {
 			return nil, err
 		}
+		if tr != nil {
+			tr.Exchange("", telemetry.ExchangeBoundary, res.Iterations, time.Since(t0))
+		}
 		if err := r.applyFrames(frames); err != nil {
 			return nil, err
 		}
+		if tr != nil {
+			t0 = time.Now()
+		}
 		coveredOwned := r.edgePhase()
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseEdge, time.Since(t0), 0)
+			t0 = time.Now()
+		}
 		r.gatherPhase()
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseGather, time.Since(t0), 0)
+			t0 = time.Now()
+		}
 		total, err := ex.ExchangeCoverage(res.Iterations, coveredOwned)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			tr.Exchange("", telemetry.ExchangeCoverage, res.Iterations, time.Since(t0))
 		}
 		if total < coveredOwned || total > uncovered {
 			return nil, fmt.Errorf("%w: coverage total %d out of range (own %d, uncovered %d)",

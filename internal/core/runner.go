@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"distcover/internal/hypergraph"
+	"distcover/internal/telemetry"
 )
 
 // runLockstep executes Algorithm MWHVC directly over the hypergraph in
@@ -38,7 +40,17 @@ func runLockstep[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options, 
 		maxIter = defaultIterationCap(f, eps, g.MaxDegree(), globalAlpha)
 	}
 
+	// Telemetry hooks: tr is nil on the default path, where the only cost
+	// is the nil tests — no timestamps, no allocations.
+	tr := opts.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	st.initIterationZero(carry)
+	if tr != nil {
+		tr.Phase(0, telemetry.PhaseInit, time.Since(t0), 0)
+	}
 
 	res := &Result{
 		Z:       ZLevels(f, eps),
@@ -53,9 +65,23 @@ func runLockstep[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options, 
 		res.Iterations++
 		var its IterationStats
 		its.Iteration = res.Iterations
+		if tr != nil {
+			t0 = time.Now()
+		}
 		st.vertexPhase(&its)
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseVertex, time.Since(t0), 0)
+			t0 = time.Now()
+		}
 		st.edgePhase(&its)
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseEdge, time.Since(t0), 0)
+			t0 = time.Now()
+		}
 		st.refreshVertexAggregates()
+		if tr != nil {
+			tr.Phase(res.Iterations, telemetry.PhaseGather, time.Since(t0), 0)
+		}
 		if opts.CheckInvariants {
 			if err := st.checkInvariants(res.Iterations, res.Z); err != nil {
 				return nil, err

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderReport(t *testing.T) {
+	r := NewRecorder("abc123")
+	r.Start("flat")
+	r.Phase(0, PhaseInit, 3*time.Millisecond, 0)
+	r.Phase(1, PhaseVertex, 2*time.Millisecond, time.Millisecond)
+	r.Phase(1, PhaseEdge, 4*time.Millisecond, 3*time.Millisecond)
+	r.Phase(1, PhaseGather, time.Millisecond, 0)
+	r.Phase(2, PhaseVertex, time.Millisecond, 0)
+	r.Exchange("peerB", ExchangeBoundary, 1, 5*time.Millisecond)
+	r.Exchange("peerA", ExchangeCoverage, 1, 2*time.Millisecond)
+	r.Exchange("", ExchangeBoundary, 1, time.Millisecond)
+	r.Frame("peerA", DirSent, "setup", 100)
+	r.Frame("peerA", DirReceived, "boundary", 40)
+	r.Protocol(8, 123)
+	r.Stop()
+
+	rep := r.Report()
+	if rep.TraceID != "abc123" {
+		t.Fatalf("trace id %q", rep.TraceID)
+	}
+	if rep.Engine != "flat" {
+		t.Fatalf("engine %q", rep.Engine)
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Fatalf("total %v", rep.TotalSeconds)
+	}
+	if got := rep.PhaseSeconds[PhaseVertex]; got != 0.003 {
+		t.Fatalf("vertex phase sum %v", got)
+	}
+	if len(rep.Iterations) != 3 {
+		t.Fatalf("iterations %d", len(rep.Iterations))
+	}
+	it1 := rep.Iterations[1]
+	if it1.VertexSeconds != 0.002 || it1.EdgeSeconds != 0.004 || it1.GatherSeconds != 0.001 {
+		t.Fatalf("iteration 1 phases %+v", it1)
+	}
+	if it1.MaxChunkSeconds != 0.003 {
+		t.Fatalf("max chunk %v", it1.MaxChunkSeconds)
+	}
+	if it1.BoundaryWaitSeconds != 0.006 || it1.CoverageWaitSeconds != 0.002 {
+		t.Fatalf("iteration 1 waits %+v", it1)
+	}
+	// Peers are sorted; "" normalizes to "coordinator".
+	if len(rep.Peers) != 3 || rep.Peers[0].Peer != "coordinator" ||
+		rep.Peers[1].Peer != "peerA" || rep.Peers[2].Peer != "peerB" {
+		t.Fatalf("peers %+v", rep.Peers)
+	}
+	pa := rep.Peers[1]
+	if pa.Exchanges != 1 || pa.FramesSent != 1 || pa.FramesReceived != 1 ||
+		pa.BytesSent != 100 || pa.BytesReceived != 40 {
+		t.Fatalf("peerA stats %+v", pa)
+	}
+	if rep.Rounds != 8 || rep.Messages != 123 {
+		t.Fatalf("protocol %d/%d", rep.Rounds, rep.Messages)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestRecorderSessionSpansAccumulate(t *testing.T) {
+	r := NewRecorder("")
+	if r.TraceID() == "" {
+		t.Fatal("empty generated trace id")
+	}
+	r.Start("sim")
+	time.Sleep(time.Millisecond)
+	r.Stop()
+	first := r.Report().TotalSeconds
+	r.Start("sim")
+	time.Sleep(time.Millisecond)
+	r.Stop()
+	if got := r.Report().TotalSeconds; got <= first {
+		t.Fatalf("second span did not accumulate: %v then %v", first, got)
+	}
+}
+
+func TestRecorderIterationCap(t *testing.T) {
+	r := NewRecorder("cap")
+	for i := 0; i < maxRecordedIterations+100; i++ {
+		r.Phase(i, PhaseVertex, time.Microsecond, 0)
+	}
+	rep := r.Report()
+	if len(rep.Iterations) != maxRecordedIterations {
+		t.Fatalf("recorded %d iterations, want cap %d", len(rep.Iterations), maxRecordedIterations)
+	}
+	// Totals keep accumulating past the cap.
+	want := time.Duration(maxRecordedIterations+100) * time.Microsecond
+	if got := rep.PhaseSeconds[PhaseVertex]; got != want.Seconds() {
+		t.Fatalf("phase total %v, want %v", got, want.Seconds())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder("race")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Phase(i%10, PhaseVertex, time.Nanosecond, 0)
+				r.Exchange("p", ExchangeBoundary, i%10, time.Nanosecond)
+				r.Frame("p", DirSent, "boundary", 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := r.Report()
+	if rep.Peers[0].Exchanges != 8*200 {
+		t.Fatalf("exchanges %d", rep.Peers[0].Exchanges)
+	}
+}

@@ -1,8 +1,11 @@
 package distcover
 
 import (
+	"log/slog"
+
 	"distcover/internal/congest"
 	"distcover/internal/core"
+	"distcover/internal/telemetry"
 )
 
 // Option configures Solve, SolveCongest and SolveILP.
@@ -30,6 +33,59 @@ type solveConfig struct {
 	clusterPeers []string
 	// clusterParts is the cluster partition count (0 = one per peer).
 	clusterParts int
+	// recorder accumulates the solve's trace report (WithTelemetry); also
+	// receives Start/Stop engine spans and donates its trace id to
+	// cluster solves.
+	recorder *telemetry.Recorder
+	// tracer is an additional raw hook sink (WithTracer), fanned in with
+	// the recorder. coverd routes its Prometheus adapter here.
+	tracer telemetry.Tracer
+	// logger receives structured cluster coordinator logs (WithLogger).
+	logger *slog.Logger
+}
+
+// effectiveTracer combines the recorder and the raw tracer; nil when
+// tracing is off entirely (the zero-overhead default).
+func (c *solveConfig) effectiveTracer() telemetry.Tracer {
+	if c.recorder == nil {
+		if c.tracer == nil {
+			return nil
+		}
+		return c.tracer
+	}
+	if c.tracer == nil {
+		return c.recorder
+	}
+	return telemetry.Multi(c.recorder, c.tracer)
+}
+
+// startSpan opens the recorder's engine span (if any) and wires the
+// effective tracer into the core options. Returns a stop func; both are
+// no-ops when tracing is off.
+func (c *solveConfig) startSpan(engine string) func() {
+	if tr := c.effectiveTracer(); tr != nil {
+		c.core.Tracer = tr
+	}
+	if c.recorder == nil {
+		return func() {}
+	}
+	c.recorder.Start(engine)
+	return c.recorder.Stop
+}
+
+// congestEngineName is the engine label telemetry spans and the coverd
+// phase metrics use for the configured CONGEST engine.
+func (c *solveConfig) congestEngineName() string {
+	switch c.engine {
+	case engineParallel:
+		return "congest-parallel"
+	case engineSharded:
+		return "congest-sharded"
+	case engineTCP:
+		return "congest-tcp"
+	default:
+		return "congest-sequential"
+	}
 }
 
 type engineKind int

@@ -1,6 +1,7 @@
 // Package api defines the JSON wire types of the coverd service. Both the
 // server handlers and the Go client (distcover/client) speak these types,
-// so they live in their own dependency-free package.
+// so they live in their own package with no dependencies beyond the
+// standard library and the telemetry report types.
 //
 // Instances travel in the exact JSON shape the library's codec already
 // uses ({"weights":[...],"edges":[[...]]}, see distcover.ReadInstance), so
@@ -10,7 +11,16 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+
+	"distcover/internal/telemetry"
 )
+
+// TraceReport is the per-solve telemetry report returned in
+// SolveResult.Report when SolveOptions.Trace is set: total and per-phase
+// wall time, per-iteration phase timings (with chunk imbalance on the
+// flat engine and exchange waits on the cluster engine), per-peer
+// exchange latency and wire volume, and CONGEST round/message totals.
+type TraceReport = telemetry.Report
 
 // Engine names for SolveOptions.Engine.
 const (
@@ -73,12 +83,18 @@ type SolveOptions struct {
 	// NoCache bypasses the server's instance-result cache for this request
 	// (the result is still stored for future requests).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace returns a per-solve telemetry report (SolveResult.Report) with
+	// phase/round timings — and, on the cluster engine, per-peer exchange
+	// latencies. Traced solves bypass the cache entirely: the report
+	// describes this run, so neither a cached result is returned nor the
+	// traced result stored.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Fingerprint returns a stable string identifying every option that can
 // change the solver output. It is combined with the instance content hash
-// to form the server's cache key. NoCache is deliberately excluded: it
-// affects lookup policy, not the result.
+// to form the server's cache key. NoCache and Trace are deliberately
+// excluded: they affect lookup policy and reporting, not the result.
 func (o SolveOptions) Fingerprint() string {
 	eng := o.Engine
 	if eng == "" {
@@ -159,6 +175,9 @@ type SolveResult struct {
 	Cached bool `json:"cached"`
 	// ElapsedMS is the solver wall time in milliseconds (0 when cached).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Report is the telemetry breakdown of this solve, present only when
+	// SolveOptions.Trace was set.
+	Report *TraceReport `json:"report,omitempty"`
 }
 
 // BatchRequest submits several problems at once. Items are solved through

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
+	"time"
 
 	"distcover"
 	"distcover/server/api"
@@ -33,6 +34,9 @@ type job struct {
 	opts     api.SolveOptions
 	hash     string // canonical content hash of the problem
 	cacheKey string // hash + option fingerprint; "" when not cacheable
+	// enqueuedAt feeds the queue-wait histogram (zero = not measured,
+	// e.g. jobs constructed by tests without going through the queue).
+	enqueuedAt time.Time
 
 	// Session jobs. newSess and upd are written by the worker before the
 	// job completes (the done-channel close publishes them to the waiter).
@@ -50,39 +54,42 @@ type job struct {
 
 func newJob(inst *distcover.Instance, ilp *distcover.ILP, opts api.SolveOptions, hash, cacheKey string) *job {
 	return &job{
-		id:       newJobID(),
-		inst:     inst,
-		ilp:      ilp,
-		opts:     opts,
-		hash:     hash,
-		cacheKey: cacheKey,
-		status:   api.JobQueued,
-		done:     make(chan struct{}),
+		id:         newJobID(),
+		inst:       inst,
+		ilp:        ilp,
+		opts:       opts,
+		hash:       hash,
+		cacheKey:   cacheKey,
+		enqueuedAt: time.Now(),
+		status:     api.JobQueued,
+		done:       make(chan struct{}),
 	}
 }
 
 // newSessionCreateJob queues the initial solve of a session.
 func newSessionCreateJob(inst *distcover.Instance, opts api.SolveOptions) *job {
 	return &job{
-		id:     newJobID(),
-		kind:   jobSessionCreate,
-		inst:   inst,
-		opts:   opts,
-		status: api.JobQueued,
-		done:   make(chan struct{}),
+		id:         newJobID(),
+		kind:       jobSessionCreate,
+		inst:       inst,
+		opts:       opts,
+		enqueuedAt: time.Now(),
+		status:     api.JobQueued,
+		done:       make(chan struct{}),
 	}
 }
 
 // newSessionUpdateJob queues one delta batch against a session.
 func newSessionUpdateJob(entry *sessionEntry, delta distcover.Delta) *job {
 	return &job{
-		id:        newJobID(),
-		kind:      jobSessionUpdate,
-		sessEntry: entry,
-		opts:      entry.opts,
-		delta:     delta,
-		status:    api.JobQueued,
-		done:      make(chan struct{}),
+		id:         newJobID(),
+		kind:       jobSessionUpdate,
+		sessEntry:  entry,
+		opts:       entry.opts,
+		delta:      delta,
+		enqueuedAt: time.Now(),
+		status:     api.JobQueued,
+		done:       make(chan struct{}),
 	}
 }
 

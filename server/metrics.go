@@ -5,6 +5,9 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
+
+	"distcover/internal/telemetry"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the solve latency
@@ -13,6 +16,61 @@ import (
 var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// phaseBuckets are the upper bounds (seconds) of the per-phase and
+// cluster-exchange histograms. Phases are much shorter than whole solves
+// (a vertex phase of a small instance is microseconds), so the scale
+// starts three decades lower.
+var phaseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket latency histogram (non-cumulative counts;
+// cumulation happens at exposition time). Callers hold Metrics.mu.
+type histogram struct {
+	buckets []float64
+	counts  []int64
+	sum     float64
+	count   int64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.count++
+	for i, le := range h.buckets {
+		if v <= le {
+			h.counts[i]++
+			break
+		}
+	}
+}
+
+// writeHistogram renders one labeled histogram series in exposition
+// order (bucket lines cumulative, then sum and count). labels is the
+// rendered label block including braces minus the le pair, e.g.
+// `engine="flat",phase="vertex"`, or "" for an unlabeled series.
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cumulative := int64(0)
+	for i, le := range h.buckets {
+		cumulative += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, le, cumulative)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.sum, name, labels, h.count)
+	}
 }
 
 // Metrics aggregates the service counters exported at GET /metrics in
@@ -33,11 +91,108 @@ type Metrics struct {
 	bucketCounts    []int64 // parallel to latencyBuckets, non-cumulative
 	latencySum      float64 // seconds
 	latencyCount    int64
+
+	// Telemetry-fed series (see SolveTracer/ClusterTracer): per-phase
+	// solver timings keyed by engine|phase, per-peer cluster exchange
+	// waits, cluster wire volume by direction, and queue wait.
+	phaseHist    map[string]*histogram // key: engine + "|" + phase
+	exchangeHist map[string]*histogram // key: peer address
+	clusterBytes map[string]int64      // key: direction (sent/received)
+	clusterFrame map[string]int64      // key: direction
+	queueWait    *histogram
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{bucketCounts: make([]int64, len(latencyBuckets))}
+	return &Metrics{
+		bucketCounts: make([]int64, len(latencyBuckets)),
+		phaseHist:    make(map[string]*histogram),
+		exchangeHist: make(map[string]*histogram),
+		clusterBytes: map[string]int64{"sent": 0, "received": 0},
+		clusterFrame: map[string]int64{"sent": 0, "received": 0},
+		queueWait:    newHistogram(latencyBuckets),
+	}
+}
+
+func (m *Metrics) recordPhase(engine, phase string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := engine + "|" + phase
+	h := m.phaseHist[key]
+	if h == nil {
+		h = newHistogram(phaseBuckets)
+		m.phaseHist[key] = h
+	}
+	h.observe(seconds)
+}
+
+func (m *Metrics) recordExchange(peer string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.exchangeHist[peer]
+	if h == nil {
+		h = newHistogram(phaseBuckets)
+		m.exchangeHist[peer] = h
+	}
+	h.observe(seconds)
+}
+
+func (m *Metrics) recordClusterFrame(dir string, bytes int) {
+	m.mu.Lock()
+	m.clusterBytes[dir] += int64(bytes)
+	m.clusterFrame[dir]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordQueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.queueWait.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// tracerAdapter implements telemetry.Tracer by feeding the hooks into
+// the metrics registry. Peer "" is the cluster coordinator as seen from
+// a peer process; it is normalized so peer processes and coordinators
+// export the same label shape.
+type tracerAdapter struct {
+	m      *Metrics
+	engine string
+}
+
+func normalizePeer(peer string) string {
+	if peer == "" {
+		return "coordinator"
+	}
+	return peer
+}
+
+func (t tracerAdapter) Phase(_ int, phase string, d, _ time.Duration) {
+	t.m.recordPhase(t.engine, phase, d.Seconds())
+}
+
+func (t tracerAdapter) Exchange(peer, _ string, _ int, wait time.Duration) {
+	t.m.recordExchange(normalizePeer(peer), wait.Seconds())
+}
+
+func (t tracerAdapter) Frame(_, dir, _ string, bytes int) {
+	t.m.recordClusterFrame(dir, bytes)
+}
+
+func (t tracerAdapter) Protocol(int, int64) {} // report-only; no metric
+
+// SolveTracer returns a telemetry sink that aggregates one solve's phase
+// timings into coverd_solve_phase_seconds{engine=...} (and, for cluster
+// solves, the exchange and wire-volume series). The worker pool attaches
+// one per solve via distcover.WithTracer.
+func (m *Metrics) SolveTracer(engine string) telemetry.Tracer {
+	return tracerAdapter{m: m, engine: engine}
+}
+
+// ClusterTracer returns the telemetry sink a coverd peer process plugs
+// into cluster.Peer.Tracer: partition-solve phase timings appear under
+// engine="cluster-peer" and exchange waits under peer="coordinator".
+func (m *Metrics) ClusterTracer() telemetry.Tracer {
+	return tracerAdapter{m: m, engine: "cluster-peer"}
 }
 
 func (m *Metrics) recordSolve(seconds float64, err error) {
@@ -136,8 +291,79 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 }
 
-// gauge is a named instantaneous value supplied by the server at scrape
-// time (queue depth, worker count, cache entries).
+// copyHist returns a render-safe copy of h; callers hold Metrics.mu.
+func copyHist(h *histogram) *histogram {
+	return &histogram{
+		buckets: h.buckets,
+		counts:  append([]int64(nil), h.counts...),
+		sum:     h.sum,
+		count:   h.count,
+	}
+}
+
+// writeTelemetry renders the telemetry-fed families. HELP/TYPE headers
+// are emitted even when a family has no series yet, so scrapers (and the
+// CI exposition check) always see every documented metric name.
+func (m *Metrics) writeTelemetry(w io.Writer) {
+	m.mu.Lock()
+	phases := make(map[string]*histogram, len(m.phaseHist))
+	for k, h := range m.phaseHist {
+		phases[k] = copyHist(h)
+	}
+	exchanges := make(map[string]*histogram, len(m.exchangeHist))
+	for k, h := range m.exchangeHist {
+		exchanges[k] = copyHist(h)
+	}
+	bytesByDir := map[string]int64{"sent": m.clusterBytes["sent"], "received": m.clusterBytes["received"]}
+	framesByDir := map[string]int64{"sent": m.clusterFrame["sent"], "received": m.clusterFrame["received"]}
+	queueWait := copyHist(m.queueWait)
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP coverd_solve_phase_seconds Solver wall time per algorithm phase (init/vertex/edge/gather/protocol), labeled by engine.\n# TYPE coverd_solve_phase_seconds histogram\n")
+	for _, key := range sortedKeys(phases) {
+		engine, phase, _ := cutKey(key)
+		labels := fmt.Sprintf("engine=%q,phase=%q", engine, phase)
+		writeHistogram(w, "coverd_solve_phase_seconds", labels, phases[key])
+	}
+
+	fmt.Fprintf(w, "# HELP coverd_cluster_exchange_seconds Coordinator wait per cluster boundary/coverage exchange, labeled by peer address (peer=\"coordinator\" on peer processes).\n# TYPE coverd_cluster_exchange_seconds histogram\n")
+	for _, peer := range sortedKeys(exchanges) {
+		writeHistogram(w, "coverd_cluster_exchange_seconds", fmt.Sprintf("peer=%q", peer), exchanges[peer])
+	}
+
+	fmt.Fprintf(w, "# HELP coverd_cluster_boundary_bytes_total Cluster protocol wire bytes (frame headers included) by direction.\n# TYPE coverd_cluster_boundary_bytes_total counter\n")
+	for _, dir := range []string{"received", "sent"} {
+		fmt.Fprintf(w, "coverd_cluster_boundary_bytes_total{direction=%q} %d\n", dir, bytesByDir[dir])
+	}
+
+	fmt.Fprintf(w, "# HELP coverd_cluster_frames_total Cluster protocol frames by direction.\n# TYPE coverd_cluster_frames_total counter\n")
+	for _, dir := range []string{"received", "sent"} {
+		fmt.Fprintf(w, "coverd_cluster_frames_total{direction=%q} %d\n", dir, framesByDir[dir])
+	}
+
+	fmt.Fprintf(w, "# HELP coverd_job_queue_wait_seconds Time jobs spent queued before a worker picked them up.\n# TYPE coverd_job_queue_wait_seconds histogram\n")
+	writeHistogram(w, "coverd_job_queue_wait_seconds", "", queueWait)
+}
+
+func sortedKeys(m map[string]*histogram) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cutKey splits an engine|phase histogram key.
+func cutKey(key string) (engine, phase string, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return key, "", false
+}
+
 type gauge struct {
 	name, help string
 	value      float64
@@ -170,6 +396,8 @@ func (m *Metrics) writePrometheus(w io.Writer, gauges []gauge) {
 	fmt.Fprintf(w, "coverd_solve_seconds_bucket{le=\"+Inf\"} %d\n", s.LatencyCount)
 	fmt.Fprintf(w, "coverd_solve_seconds_sum %g\n", s.LatencySum)
 	fmt.Fprintf(w, "coverd_solve_seconds_count %d\n", s.LatencyCount)
+
+	m.writeTelemetry(w)
 
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
 	for _, g := range gauges {

@@ -32,6 +32,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 
@@ -76,6 +77,10 @@ type Config struct {
 	// when the request leaves SolveOptions.Partitions at 0 (0 = one
 	// partition per peer).
 	ClusterPartitions int
+	// Logger receives the structured solve logs (today the cluster
+	// coordinator's per-solve and per-peer lines, each carrying the
+	// solve's trace id). nil is silent.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +143,7 @@ func New(cfg Config) *Server {
 	}
 	s.pool = newWorkerPool(cfg.Workers, s.queue, s.cache, s.metrics)
 	s.pool.cluster = clusterSettings{peers: cfg.ClusterPeers, partitions: cfg.ClusterPartitions}
+	s.pool.logger = cfg.Logger
 	s.pool.start()
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -205,9 +211,10 @@ func hashILP(spec *api.ILPSpec) string {
 }
 
 // lookupCache serves a request from the cache if allowed, recording
-// hit/miss metrics. Returns nil on miss.
+// hit/miss metrics. Returns nil on miss. Traced requests never read the
+// cache: their report must describe an actual run.
 func (s *Server) lookupCache(j *job) *api.SolveResult {
-	if j.cacheKey == "" || j.opts.NoCache {
+	if j.cacheKey == "" || j.opts.NoCache || j.opts.Trace {
 		return nil
 	}
 	res := s.cache.get(j.cacheKey)

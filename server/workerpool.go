@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"distcover"
@@ -16,6 +17,7 @@ type workerPool struct {
 	cache   *resultCache
 	metrics *Metrics
 	cluster clusterSettings
+	logger  *slog.Logger // cluster coordinator logs; nil = silent
 	size    int
 	stop    chan struct{}
 	idle    chan struct{} // one token per worker, returned on exit
@@ -94,6 +96,9 @@ func (p *workerPool) close() {
 
 // run dispatches one job to its kind-specific execution.
 func (p *workerPool) run(j *job) {
+	if !j.enqueuedAt.IsZero() {
+		p.metrics.recordQueueWait(time.Since(j.enqueuedAt))
+	}
 	switch j.kind {
 	case jobSessionCreate:
 		p.runSessionCreate(j)
@@ -111,6 +116,12 @@ func (p *workerPool) runSessionCreate(j *job) {
 	if err != nil {
 		j.complete(nil, err)
 		return
+	}
+	// The tracer attached here persists in the session's stored config, so
+	// later Update re-solves keep feeding the phase metrics too.
+	opts = append(opts, distcover.WithTracer(p.metrics.SolveTracer(engineLabel(j.opts.Engine))))
+	if p.logger != nil {
+		opts = append(opts, distcover.WithLogger(p.logger))
 	}
 	start := time.Now()
 	sess, err := distcover.NewSession(j.inst, opts...)
@@ -145,16 +156,30 @@ func (p *workerPool) runSolve(j *job) {
 	j.setRunning()
 	// A second lookup here (the handler already checked at submit time)
 	// catches duplicates that were queued behind the first computation of
-	// the same instance.
-	if j.cacheKey != "" && !j.opts.NoCache {
+	// the same instance. Traced solves bypass the cache in both directions:
+	// the report must describe this run.
+	if j.cacheKey != "" && !j.opts.NoCache && !j.opts.Trace {
 		if res := p.cache.get(j.cacheKey); res != nil {
 			p.metrics.recordCache(true)
 			j.complete(res, nil)
 			return
 		}
 	}
+	extra := []distcover.Option{
+		distcover.WithTracer(p.metrics.SolveTracer(engineLabel(j.opts.Engine))),
+	}
+	if p.logger != nil {
+		extra = append(extra, distcover.WithLogger(p.logger))
+	}
+	var rec *distcover.TraceRecorder
+	if j.opts.Trace {
+		// The job id doubles as the trace id, so a traced cluster solve is
+		// findable in coordinator and peer logs by the id the client holds.
+		rec = distcover.NewTraceRecorder(j.id)
+		extra = append(extra, distcover.WithTelemetry(rec))
+	}
 	start := time.Now()
-	res, err := solve(j.inst, j.ilp, j.opts, p.cluster)
+	res, err := solve(j.inst, j.ilp, j.opts, p.cluster, extra...)
 	elapsed := time.Since(start)
 	p.metrics.recordSolve(elapsed.Seconds(), err)
 	if err != nil {
@@ -163,10 +188,21 @@ func (p *workerPool) runSolve(j *job) {
 	}
 	res.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	res.InstanceHash = j.hash
-	if j.cacheKey != "" {
+	if rec != nil {
+		res.Report = rec.Report()
+	}
+	if j.cacheKey != "" && !j.opts.Trace {
 		p.cache.put(j.cacheKey, res)
 	}
 	j.complete(res, nil)
+}
+
+// engineLabel is the metric label for a request's engine choice.
+func engineLabel(engine string) string {
+	if engine == "" {
+		return api.EngineSim
+	}
+	return engine
 }
 
 // baseLibOptions maps the engine-independent api.SolveOptions onto the
@@ -224,9 +260,10 @@ func sessionLibOptions(o api.SolveOptions, cluster clusterSettings) ([]distcover
 }
 
 // solve maps api.SolveOptions onto the library's functional options and
-// dispatches to the right execution path.
-func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions, cluster clusterSettings) (*api.SolveResult, error) {
-	opts := baseLibOptions(o)
+// dispatches to the right execution path. extra carries per-job telemetry
+// options (tracer, recorder, logger) from the worker pool.
+func solve(inst *distcover.Instance, ilp *distcover.ILP, o api.SolveOptions, cluster clusterSettings, extra ...distcover.Option) (*api.SolveResult, error) {
+	opts := append(baseLibOptions(o), extra...)
 
 	if ilp != nil {
 		sol, err := distcover.SolveILP(ilp, opts...)

@@ -118,16 +118,22 @@ func NewSession(inst *Instance, opts ...Option) (*Session, error) {
 	case len(cfg.clusterPeers) > 0:
 		res, err = clusterRun(s.g, cfg, nil)
 	case cfg.congest:
+		stop := s.cfg.startSpan(cfg.congestEngineName())
 		var metrics congest.Metrics
-		res, metrics, err = core.RunCongest(s.g, cfg.core, cfg.buildEngine(), congest.Options{Validate: true})
+		res, metrics, err = core.RunCongest(s.g, s.cfg.core, cfg.buildEngine(), congest.Options{Validate: true})
+		stop()
 		if err == nil {
 			s.congest = &CongestStats{}
 			s.addCongest(metrics)
 		}
 	case cfg.flat:
-		res, err = core.RunFlat(s.g, cfg.core, cfg.parallelism)
+		stop := s.cfg.startSpan("flat")
+		res, err = core.RunFlat(s.g, s.cfg.core, cfg.parallelism)
+		stop()
 	default:
-		res, err = core.Run(s.g, cfg.core)
+		stop := s.cfg.startSpan("sim")
+		res, err = core.Run(s.g, s.cfg.core)
+		stop()
 	}
 	if err != nil {
 		return nil, fmt.Errorf("distcover: session: %w", err)
@@ -243,16 +249,22 @@ func (s *Session) Update(d Delta) (*UpdateStats, error) {
 					Validate:  true,
 					BitBudget: congest.LogBudget(newG.NumVertices() + newG.NumEdges()),
 				}
+				stop := s.cfg.startSpan(s.cfg.congestEngineName())
 				var metrics congest.Metrics
 				res, metrics, err = core.RunResidualCongest(rg, s.cfg.core, carry,
 					s.cfg.buildEngine(), copts)
+				stop()
 				if err == nil {
 					s.addCongest(metrics)
 				}
 			case s.cfg.flat:
+				stop := s.cfg.startSpan("flat")
 				res, err = core.RunResidualFlat(rg, s.cfg.core, carry, s.cfg.parallelism)
+				stop()
 			default:
+				stop := s.cfg.startSpan("sim")
 				res, err = core.RunResidual(rg, s.cfg.core, carry)
+				stop()
 			}
 		}
 		if err != nil {
