@@ -169,6 +169,17 @@ func (c *Client) UpdateSession(ctx context.Context, id string, delta api.Session
 	return &res, nil
 }
 
+// Sessions lists all live sessions on the server, most recently used
+// first. After a server restart with a WAL directory, rehydrated sessions
+// appear here with Recovered set.
+func (c *Client) Sessions(ctx context.Context) ([]*api.SessionInfo, error) {
+	var list api.SessionList
+	if err := c.get(ctx, "/v1/sessions", &list); err != nil {
+		return nil, err
+	}
+	return list.Sessions, nil
+}
+
 // Session fetches the current state of a session.
 func (c *Client) Session(ctx context.Context, id string) (*api.SessionInfo, error) {
 	var info api.SessionInfo

@@ -48,6 +48,26 @@ func ClusterSolve(in *Instance, peers []string, opts ...Option) (*Solution, erro
 	return solutionFromResult(res), nil
 }
 
+// ClusterInvalidate asks every listed peer to drop its cached copy of the
+// instance with the given canonical content hash (Instance.Hash). Peer
+// instance caches are content-addressed soft state — entries are immutable
+// and eviction is never needed for correctness — so this is purely capacity
+// and lifecycle management: coverd calls it when a cluster session is
+// deleted, and long-running coordinators can call it after retiring an
+// instance. All peers are attempted even if one fails; the first error is
+// returned. An unknown hash is not an error (the drop is idempotent).
+func ClusterInvalidate(hash string, peers []string, opts ...Option) error {
+	cfg := optConfig(opts)
+	ccfg := cluster.Config{Peers: peers, Logger: cfg.logger}
+	if tr := cfg.effectiveTracer(); tr != nil {
+		ccfg.Tracer = tr
+	}
+	if err := cluster.Invalidate(hash, ccfg); err != nil {
+		return fmt.Errorf("distcover: cluster: %w", err)
+	}
+	return nil
+}
+
 // clusterRun dispatches a (possibly warm-started) solve to the configured
 // cluster peers.
 func clusterRun(g *hypergraph.Hypergraph, cfg solveConfig, carry []float64) (*core.Result, error) {

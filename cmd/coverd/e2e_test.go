@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -180,6 +181,93 @@ func TestClusterE2EProcesses(t *testing.T) {
 			t.Fatal("peer /metrics lacks cluster-peer phase series")
 		}
 	}
+
+	// Instance fabric: the first solve of a fresh instance misses every
+	// peer's content-addressed cache exactly once (one re-sync per peer);
+	// the repeat ships only the hash and hits everywhere. NoCache keeps the
+	// coordinator's result cache from short-circuiting the repeat.
+	peerCache := func(p *coverdProc) (hits, misses int) {
+		text := scrapeMetrics(t, p.httpAddr)
+		return metricInt(t, text, "coverd_peer_instance_cache_hits_total"),
+			metricInt(t, text, "coverd_peer_instance_cache_misses_total")
+	}
+	edges2 := make([][]int, 800)
+	for e := range edges2 {
+		edges2[e] = []int{next(400), next(400), next(400)}
+	}
+	inst2, err := distcover.NewInstance(weights, edges2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat2, err := c.Solve(ctx, inst2, api.SolveOptions{Engine: api.EngineFlat, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := peerCache(peer1)
+	h2, m2 := peerCache(peer2)
+	clusterOpts := api.SolveOptions{Engine: api.EngineCluster, NoCache: true}
+	first2, err := c.Solve(ctx, inst2, clusterOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first2.Cover, flat2.Cover) || first2.Weight != flat2.Weight {
+		t.Fatal("cluster solve of inst2 diverges from flat")
+	}
+	if h, m := peerCache(peer1); h != h1 || m != m1+1 {
+		t.Fatalf("peer1 after first contact: hits %d→%d misses %d→%d, want one miss", h1, h, m1, m)
+	}
+	if h, m := peerCache(peer2); h != h2 || m != m2+1 {
+		t.Fatalf("peer2 after first contact: hits %d→%d misses %d→%d, want one miss", h2, h, m2, m)
+	}
+	repeat2, err := c.Solve(ctx, inst2, clusterOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repeat2.Cover, flat2.Cover) || repeat2.Weight != flat2.Weight {
+		t.Fatal("repeat cluster solve diverges")
+	}
+	if h, m := peerCache(peer1); h != h1+1 || m != m1+1 {
+		t.Fatalf("peer1 repeat re-synced: hits %d misses %d (want %d/%d)", h, m, h1+1, m1+1)
+	}
+	if h, m := peerCache(peer2); h != h2+1 || m != m2+1 {
+		t.Fatalf("peer2 repeat re-synced: hits %d misses %d (want %d/%d)", h, m, h2+1, m2+1)
+	}
+
+	// Peer crash + restart on the same port: the reborn peer's cache is
+	// empty, so the coordinator's next solve re-syncs it (a miss on the new
+	// process) while the surviving peer keeps hitting.
+	h2c, _ := peerCache(peer2)
+	peer1.kill(t)
+	peer1r := startCoverd(t, bin, "-addr", "127.0.0.1:0", "-peer-listen", peer1.peerAddr)
+	after, err := c.Solve(ctx, inst2, clusterOpts)
+	if err != nil {
+		t.Fatalf("solve after peer restart: %v", err)
+	}
+	if !reflect.DeepEqual(after.Cover, flat2.Cover) || after.Weight != flat2.Weight {
+		t.Fatal("solve after peer restart diverges")
+	}
+	if h, m := peerCache(peer1r); h != 0 || m != 1 {
+		t.Fatalf("restarted peer: hits %d misses %d, want a fresh re-sync (0/1)", h, m)
+	}
+	if h, _ := peerCache(peer2); h != h2c+1 {
+		t.Fatalf("surviving peer stopped hitting after the restart: hits %d→%d", h2c, h)
+	}
+}
+
+// metricInt reads an unlabeled integer counter from a Prometheus scrape.
+func metricInt(t *testing.T, text, name string) int {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, v)
+			}
+			return n
+		}
+	}
+	t.Fatalf("metric %s not found in scrape", name)
+	return 0
 }
 
 // requiredMetricFamilies is the documented metric surface; every name must
@@ -193,6 +281,11 @@ var requiredMetricFamilies = []string{
 	"coverd_batch_requests_total",
 	"coverd_sessions_created_total",
 	"coverd_session_updates_total",
+	"coverd_peer_instance_cache_hits_total",
+	"coverd_peer_instance_cache_misses_total",
+	"coverd_sessions_recovered_total",
+	"coverd_wal_records_total",
+	"coverd_wal_snapshots_total",
 	"coverd_solve_seconds",
 	"coverd_solve_phase_seconds",
 	"coverd_cluster_exchange_seconds",
@@ -289,9 +382,19 @@ func requireSameSession(t *testing.T, label string, got, want *api.SessionInfo) 
 type coverdProc struct {
 	httpAddr string
 	peerAddr string
+	cmd      *exec.Cmd
 
 	mu  sync.Mutex
 	log []string
+}
+
+// kill SIGKILLs the daemon — no shutdown hooks run, exactly like a crash.
+func (p *coverdProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
 }
 
 // logContains reports whether any captured stderr line contains s.
@@ -336,7 +439,7 @@ func startCoverd(t *testing.T, bin string, args ...string) *coverdProc {
 		cmd.Process.Kill()
 		cmd.Wait()
 	})
-	p := &coverdProc{}
+	p := &coverdProc{cmd: cmd}
 	ready := make(chan struct{})
 	wantPeer := false
 	for i, a := range args {

@@ -6,6 +6,7 @@
 //
 //	coverd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-batch N]
 //	       [-peer-listen addr] [-peers a,b,c] [-partition N]
+//	       [-wal-dir DIR] [-snapshot-interval 1m] [-peer-cache-budget BYTES]
 //	       [-log-level info] [-pprof]
 //	coverd -loadgen [-target URL] [-requests N] [-concurrency C]
 //	       [-pool K] [-gen kind] [-n N] [-m M] [-f F] [-eps ε] [-seed S]
@@ -56,6 +57,12 @@ func main() {
 			"comma-separated peer-protocol addresses of other coverd processes; enables the \"cluster\" engine for solves and sessions")
 		partition = flag.Int("partition", 0,
 			"default partition count for cluster solves (0 = one per peer)")
+		walDir = flag.String("wal-dir", "",
+			"make sessions durable: write-ahead log + snapshots in this directory, rehydrated on restart (empty = off)")
+		snapEvery = flag.Duration("snapshot-interval", time.Minute,
+			"with -wal-dir: how often the WAL is compacted into a snapshot")
+		peerCacheBudget = flag.Int64("peer-cache-budget", 0,
+			"with -peer-listen: byte budget of the content-addressed instance cache (0 = default 256 MiB)")
 		logLevel = flag.String("log-level", "info",
 			"minimum structured-log level (debug, info, warn, error)")
 		pprofOn = flag.Bool("pprof", false,
@@ -111,7 +118,7 @@ func main() {
 			peerAddrs = append(peerAddrs, a)
 		}
 	}
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		Workers:             *workers,
 		QueueDepth:          *queueN,
 		CacheSize:           *cacheN,
@@ -121,7 +128,13 @@ func main() {
 		ClusterPeers:        peerAddrs,
 		ClusterPartitions:   *partition,
 		Logger:              logger,
+		WALDir:              *walDir,
+		SnapshotInterval:    *snapEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coverd:", err)
+		os.Exit(1)
+	}
 	defer srv.Close()
 
 	if *peerListen != "" {
@@ -133,6 +146,7 @@ func main() {
 		peer := cluster.NewPeer()
 		peer.Logger = logger
 		peer.Tracer = srv.Metrics().ClusterTracer()
+		peer.InstanceCacheBudget = *peerCacheBudget
 		defer peer.Close()
 		go func() {
 			// A dead peer listener degrades this process to HTTP-only (a

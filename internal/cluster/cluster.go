@@ -11,10 +11,18 @@
 // Topology is a star: peers talk only to the coordinator, which detects a
 // dead or wedged peer on the spot (connection error or deadline) and turns
 // it into the typed ErrPeerLost after closing every connection, unblocking
-// the surviving peers — no hang, no goroutine left behind. Peers are
-// stateless between connections, so recovery is the coordinator's retry:
+// the surviving peers — no hang, no goroutine left behind. Peers hold no
+// solve state between connections, so recovery is the coordinator's retry:
 // once the lost peer is restarted (or replaced), the next solve proceeds
 // from the coordinator-held session state.
+//
+// Since protocol v2 the setup is content-addressed (the instance fabric):
+// the setup frame carries the instance's canonical hash, each peer keeps a
+// byte-budgeted LRU of decoded instances keyed by that hash, and the JSON
+// re-sync frame crosses the wire only for peers that answer hashmiss — so
+// repeated solves, session re-pointing and post-ErrPeerLost failover ship
+// a hash instead of megabytes. The cache is soft state: losing it costs
+// one re-sync, never correctness.
 //
 // Session updates ship only the residual delta instance — the same JSON
 // shape as the session delta codec — plus the carried dual loads, so the
@@ -147,10 +155,12 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		}()
 	}
 
-	instJSON, err := json.Marshal(g)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: encode instance: %w", err)
-	}
+	// Content-addressed setup: only the canonical hash is computed up
+	// front. The instance JSON is marshaled lazily — once, on the first
+	// peer whose cache misses — and shared across all missing peers, so a
+	// fully warm fleet never pays the serialization at all.
+	hash := g.Hash()
+	var instJSON []byte
 
 	d := cfg.timeout()
 	conns := make([]*peerConn, 0, np)
@@ -178,18 +188,38 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 			return nil, protocolErr(addr, err)
 		}
 		if err := pc.sendJSON(d, ftSetup, setupFrame{
-			Instance: instJSON,
-			Carry:    carry,
-			Options:  toSetupOptions(opts),
-			Bounds:   bounds,
-			Part:     p,
-			TraceID:  traceID,
+			Hash:    hash,
+			Carry:   carry,
+			Options: toSetupOptions(opts),
+			Bounds:  bounds,
+			Part:    p,
+			TraceID: traceID,
 		}); err != nil {
 			return nil, lost(addr, "setup", err)
 		}
+		// The peer answers hashok (cached — proceed straight to the
+		// exchange loop) or hashmiss (send the ftInstance re-sync frame).
+		ack, ft, err := pc.expectOneOf(d, ftHashOK, ftHashMiss)
+		if err != nil {
+			return nil, err
+		}
+		if string(ack) != hash {
+			return nil, protocolErr(addr, fmt.Errorf("%w: hash ack %q for setup %q", ErrBadFrame, ack, hash))
+		}
+		hit := ft == ftHashOK
+		if !hit {
+			if instJSON == nil {
+				if instJSON, err = json.Marshal(g); err != nil {
+					return nil, fmt.Errorf("cluster: encode instance: %w", err)
+				}
+			}
+			if err := pc.send(d, ftInstance, instJSON); err != nil {
+				return nil, lost(addr, "instance re-sync", err)
+			}
+		}
 		if lg != nil {
 			lg.Debug("cluster: partition dispatched", "trace_id", traceID,
-				"peer_addr", addr, "part", p,
+				"peer_addr", addr, "part", p, "hash", hash, "cache_hit", hit,
 				"range_lo", bounds[p], "range_hi", bounds[p+1])
 		}
 	}
@@ -330,6 +360,88 @@ func (pc *peerConn) expect(want byte, d time.Duration) ([]byte, error) {
 		return nil, protocolErr(pc.addr, fmt.Errorf("%w: expected type %d, got %d", ErrBadFrame, want, ft))
 	}
 	return payload, nil
+}
+
+// expectOneOf reads one frame that must be one of the two wanted types,
+// with the same transport/error-frame translation as expect.
+func (pc *peerConn) expectOneOf(d time.Duration, wantA, wantB byte) ([]byte, byte, error) {
+	ft, payload, err := readFrameTimeout(pc.conn, d)
+	if err != nil {
+		return nil, 0, lost(pc.addr, "read", err)
+	}
+	if pc.tr != nil {
+		pc.tr.Frame(pc.addr, telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
+	}
+	if ft == ftError {
+		var ef errorFrame
+		if err := json.Unmarshal(payload, &ef); err != nil {
+			return nil, 0, protocolErr(pc.addr, fmt.Errorf("%w: error frame: %v", ErrBadFrame, err))
+		}
+		return nil, 0, fmt.Errorf("%w: %s: %s", ErrPeerFailed, pc.addr, ef.Message)
+	}
+	if ft != wantA && ft != wantB {
+		return nil, 0, protocolErr(pc.addr, fmt.Errorf("%w: expected type %d or %d, got %d", ErrBadFrame, wantA, wantB, ft))
+	}
+	return payload, ft, nil
+}
+
+// Invalidate asks every peer in cfg.Peers to drop the cached instance with
+// the given content hash. Content-addressed entries are immutable, so this
+// is capacity and teardown management (a deleted session's base instance,
+// say), never a correctness requirement — a peer that is down simply keeps
+// nothing, and a peer that never cached the hash acks all the same. All
+// peers are attempted; the first error (if any) is returned.
+func Invalidate(hash string, cfg Config) error {
+	if len(cfg.Peers) == 0 {
+		return ErrNoPeers
+	}
+	if hash == "" {
+		return errors.New("cluster: invalidate: empty hash")
+	}
+	d := cfg.timeout()
+	var firstErr error
+	for _, addr := range cfg.Peers {
+		if err := invalidateOne(addr, hash, d, cfg.Tracer); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if cfg.Logger != nil {
+		cfg.Logger.Debug("cluster: instance invalidated on peers",
+			"hash", hash, "peers", len(cfg.Peers), "err", firstErr)
+	}
+	return firstErr
+}
+
+// invalidateOne runs the hello handshake and one invalidate/ack round trip
+// against a single peer.
+func invalidateOne(addr, hash string, d time.Duration, tr telemetry.Tracer) error {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return lost(addr, "dial", err)
+	}
+	defer conn.Close()
+	pc := &peerConn{addr: addr, conn: conn, tr: tr}
+	if err := pc.sendJSON(d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {
+		return lost(addr, "hello", err)
+	}
+	payload, err := pc.expect(ftHello, d)
+	if err != nil {
+		return err
+	}
+	if _, err := parseHello(payload); err != nil {
+		return protocolErr(addr, err)
+	}
+	if err := pc.send(d, ftInvalidate, []byte(hash)); err != nil {
+		return lost(addr, "invalidate", err)
+	}
+	ack, err := pc.expect(ftHashOK, d)
+	if err != nil {
+		return err
+	}
+	if string(ack) != hash {
+		return protocolErr(addr, fmt.Errorf("%w: invalidate ack %q for %q", ErrBadFrame, ack, hash))
+	}
+	return nil
 }
 
 func lost(addr, op string, cause error) error {

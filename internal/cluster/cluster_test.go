@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"net"
@@ -161,7 +162,17 @@ func dropAfterBoundary(t *testing.T) (addr string, stop func()) {
 				if err := writeJSONFrame(conn, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {
 					return
 				}
-				if _, _, err := readFrameTimeout(conn, time.Second); err != nil { // setup
+				_, payload, err := readFrameTimeout(conn, time.Second) // setup
+				if err != nil {
+					return
+				}
+				// v2 handshake: claim the instance is cached so the
+				// coordinator proceeds straight to the exchange loop.
+				var setup setupFrame
+				if err := json.Unmarshal(payload, &setup); err != nil {
+					return
+				}
+				if err := writeFrame(conn, ftHashOK, []byte(setup.Hash)); err != nil {
 					return
 				}
 				// Pretend to have an empty boundary, then vanish before the

@@ -31,21 +31,29 @@ import (
 
 // Frame types.
 const (
-	ftHello    = 1 // JSON helloFrame, both directions
-	ftSetup    = 2 // JSON setupFrame, coordinator -> peer
-	ftBoundary = 3 // binary boundary frame, peer -> coordinator
-	ftAllB     = 4 // binary combined boundary frames, coordinator -> peer
-	ftCoverage = 5 // binary coverage frame, peer -> coordinator
-	ftAllC     = 6 // binary combined coverage total, coordinator -> peer
-	ftResult   = 7 // JSON resultFrame, peer -> coordinator
-	ftError    = 8 // JSON errorFrame, peer -> coordinator
-	maxFT      = ftError
+	ftHello      = 1  // JSON helloFrame, both directions
+	ftSetup      = 2  // JSON setupFrame, coordinator -> peer
+	ftBoundary   = 3  // binary boundary frame, peer -> coordinator
+	ftAllB       = 4  // binary combined boundary frames, coordinator -> peer
+	ftCoverage   = 5  // binary coverage frame, peer -> coordinator
+	ftAllC       = 6  // binary combined coverage total, coordinator -> peer
+	ftResult     = 7  // JSON resultFrame, peer -> coordinator
+	ftError      = 8  // JSON errorFrame, peer -> coordinator
+	ftHashOK     = 9  // ASCII hash echo: peer holds the instance (or ack), peer -> coordinator
+	ftHashMiss   = 10 // ASCII hash echo: peer needs the instance, peer -> coordinator
+	ftInstance   = 11 // instance-codec JSON re-sync after a miss, coordinator -> peer
+	ftInvalidate = 12 // ASCII hash to drop from the peer cache, coordinator -> peer
+	maxFT        = ftInvalidate
 )
 
-// Magic and version of the handshake.
+// Magic and version of the handshake. Version 2 made the setup frame
+// content-addressed: it carries the instance hash and the peer answers
+// hashok/hashmiss before the solve proceeds (see docs/PROTOCOL.md).
+// parseHello requires an exact version match, so v1 and v2 processes
+// refuse each other at the handshake instead of misparsing setups.
 const (
 	protoMagic   = "distcover-cluster"
-	protoVersion = 1
+	protoVersion = 2
 )
 
 // frameName maps a frame type to the label telemetry and logs use.
@@ -67,6 +75,14 @@ func frameName(ft byte) string {
 		return "result"
 	case ftError:
 		return "error"
+	case ftHashOK:
+		return "hashok"
+	case ftHashMiss:
+		return "hashmiss"
+	case ftInstance:
+		return "instance"
+	case ftInvalidate:
+		return "invalidate"
 	}
 	return "unknown"
 }
@@ -148,15 +164,20 @@ func (s setupOptions) coreOptions() core.Options {
 	return o
 }
 
-// setupFrame ships one partition's share of a solve: the full instance (or
-// residual delta instance) in the instance-codec JSON shape, the carried
-// dual loads for warm starts, the partition plan and this peer's index.
+// setupFrame ships one partition's share of a solve. Since protocol v2 the
+// instance itself does not ride along: the frame carries the canonical
+// content hash (hypergraph.Hash) of the instance being solved — the full
+// instance for solves, the residual delta instance for session updates —
+// plus the carried dual loads for warm starts, the partition plan and this
+// peer's index. The peer answers ftHashOK when its content-addressed cache
+// holds the instance, or ftHashMiss to request an ftInstance re-sync frame
+// (the instance-codec JSON, sent once per missing peer).
 type setupFrame struct {
-	Instance json.RawMessage `json:"instance"`
-	Carry    []float64       `json:"carry,omitempty"`
-	Options  setupOptions    `json:"options"`
-	Bounds   []int           `json:"bounds"`
-	Part     int             `json:"part"`
+	Hash    string       `json:"hash"`
+	Carry   []float64    `json:"carry,omitempty"`
+	Options setupOptions `json:"options"`
+	Bounds  []int        `json:"bounds"`
+	Part    int          `json:"part"`
 	// TraceID of the solve this setup belongs to (additive, see
 	// helloFrame).
 	TraceID string `json:"trace_id,omitempty"`

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"distcover/internal/hypergraph"
+)
+
+// DefaultInstanceCacheBudget bounds the decoded bytes a peer's instance
+// cache retains when Peer.InstanceCacheBudget is zero.
+const DefaultInstanceCacheBudget = 256 << 20 // 256 MiB
+
+// instanceCache is the peer side of the content-addressed instance fabric:
+// a byte-budgeted LRU of decoded base instances keyed by their canonical
+// content hash. Entries are stored decoded (the CSR hypergraph, not the
+// JSON) so a cache hit skips both the transfer and the re-parse. Cached
+// graphs are shared read-only across concurrent connections — nothing on
+// the solver read path mutates a Hypergraph (only Extend does, and peers
+// never call it), which the race-enabled fabric tests exercise.
+//
+// Content-addressed entries are immutable: the hash is the value, so there
+// is no coherence problem and invalidation (ftInvalidate) is purely
+// capacity and teardown management, not correctness.
+type instanceCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	order  *list.List // front = most recently used; element values are *cacheInstance
+	byHash map[string]*list.Element
+}
+
+type cacheInstance struct {
+	hash  string
+	g     *hypergraph.Hypergraph
+	bytes int64
+}
+
+func newInstanceCache(budget int64) *instanceCache {
+	if budget <= 0 {
+		budget = DefaultInstanceCacheBudget
+	}
+	return &instanceCache{
+		budget: budget,
+		order:  list.New(),
+		byHash: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached instance for hash, refreshing its LRU position.
+func (c *instanceCache) get(hash string) (*hypergraph.Hypergraph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byHash[hash]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheInstance).g, true
+}
+
+// put inserts g under hash and evicts from the LRU tail past the byte
+// budget. An instance larger than the whole budget is still admitted (it
+// is the working set), alone.
+func (c *instanceCache) put(hash string, g *hypergraph.Hypergraph) {
+	size := g.MemoryBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byHash[hash]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byHash[hash] = c.order.PushFront(&cacheInstance{hash: hash, g: g, bytes: size})
+	c.bytes += size
+	for c.bytes > c.budget && c.order.Len() > 1 {
+		el := c.order.Back()
+		ent := el.Value.(*cacheInstance)
+		c.order.Remove(el)
+		delete(c.byHash, ent.hash)
+		c.bytes -= ent.bytes
+	}
+}
+
+// invalidate drops the entry for hash, reporting whether it was present.
+func (c *instanceCache) invalidate(hash string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byHash[hash]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*cacheInstance)
+	c.order.Remove(el)
+	delete(c.byHash, hash)
+	c.bytes -= ent.bytes
+	return true
+}
+
+// stats returns the entry count and retained decoded bytes.
+func (c *instanceCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.bytes
+}

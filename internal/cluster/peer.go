@@ -35,19 +35,41 @@ type Peer struct {
 	Logger *slog.Logger
 	// Tracer, when set, receives the partition runner's phase timings and
 	// this peer's frame accounting for every connection served (coverd
-	// wires its Prometheus adapter here). nil = disabled, zero overhead.
+	// wires its Prometheus adapter here). If it additionally implements
+	// telemetry.CacheTracer it receives one instance-cache hit/miss hook
+	// per setup handshake. nil = disabled, zero overhead.
 	Tracer telemetry.Tracer
+	// InstanceCacheBudget bounds the decoded bytes the content-addressed
+	// instance cache retains (0 = DefaultInstanceCacheBudget). Must be set
+	// before the first connection is served.
+	InstanceCacheBudget int64
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed bool
+
+	cacheOnce sync.Once
+	cache     *instanceCache
 }
 
 // NewPeer returns a Peer ready to Serve.
 func NewPeer() *Peer {
 	return &Peer{conns: make(map[net.Conn]struct{})}
+}
+
+// instances returns the peer's content-addressed instance cache, created
+// lazily so InstanceCacheBudget can be set after NewPeer.
+func (p *Peer) instances() *instanceCache {
+	p.cacheOnce.Do(func() { p.cache = newInstanceCache(p.InstanceCacheBudget) })
+	return p.cache
+}
+
+// InstanceCacheStats reports the current entry count and retained decoded
+// bytes of the peer's instance cache (both zero before the first setup).
+func (p *Peer) InstanceCacheStats() (entries int, bytes int64) {
+	return p.instances().stats()
 }
 
 // ErrPeerClosed is returned by Serve after Close.
@@ -155,10 +177,13 @@ func (p *Peer) timeout() time.Duration {
 	return DefaultTimeout
 }
 
-// handle runs one connection: handshake, setup, partitioned solve with the
-// connection as the Exchanger, result. Solver-level failures are reported
-// to the coordinator as an error frame; transport failures just drop the
-// connection (the coordinator sees them as ErrPeerLost).
+// handle runs one connection: handshake, setup (content-addressed: hash
+// lookup, hashok/hashmiss answer, ftInstance re-sync on a miss),
+// partitioned solve with the connection as the Exchanger, result. A
+// connection may instead carry one ftInvalidate, dropping a cache entry.
+// Solver-level failures are reported to the coordinator as an error frame;
+// transport failures just drop the connection (the coordinator sees them
+// as ErrPeerLost).
 func (p *Peer) handle(conn net.Conn) error {
 	d := p.timeout()
 	hello, err := expectHello(conn, d)
@@ -174,6 +199,13 @@ func (p *Peer) handle(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
+	if ft == ftInvalidate {
+		hash := string(payload)
+		dropped := p.instances().invalidate(hash)
+		p.logInfo("cluster peer: instance invalidated", "trace_id", hello.TraceID,
+			"peer_addr", conn.LocalAddr().String(), "hash", hash, "dropped", dropped)
+		return writeFrameTimeout(conn, d, ftHashOK, []byte(hash))
+	}
 	if ft != ftSetup {
 		return fmt.Errorf("%w: expected setup, got type %d", ErrBadFrame, ft)
 	}
@@ -185,21 +217,21 @@ func (p *Peer) handle(conn net.Conn) error {
 	if traceID == "" {
 		traceID = hello.TraceID
 	}
-	var g hypergraph.Hypergraph
-	if err := g.UnmarshalJSON(setup.Instance); err != nil {
-		return sendError(conn, d, fmt.Errorf("decode instance: %w", err))
+	g, hit, err := p.resolveInstance(conn, d, setup.Hash)
+	if err != nil {
+		return err
 	}
 	start := time.Now()
 	peerAddr := conn.LocalAddr().String()
 	p.logInfo("cluster peer: partition start", "trace_id", traceID,
-		"peer_addr", peerAddr, "part", setup.Part,
+		"peer_addr", peerAddr, "part", setup.Part, "hash", setup.Hash, "cache_hit", hit,
 		"vertices", g.NumVertices(), "edges", g.NumEdges())
 	opts := setup.Options.coreOptions()
 	if p.Tracer != nil {
 		opts.Tracer = p.Tracer
 	}
 	ex := &connExchanger{conn: conn, timeout: d, tr: p.Tracer}
-	partial, err := core.RunPartition(&g, opts, setup.Carry, setup.Bounds, setup.Part, ex)
+	partial, err := core.RunPartition(g, opts, setup.Carry, setup.Bounds, setup.Part, ex)
 	if err != nil {
 		p.logWarn("cluster peer: partition failed", "trace_id", traceID,
 			"peer_addr", peerAddr, "part", setup.Part,
@@ -213,6 +245,55 @@ func (p *Peer) handle(conn net.Conn) error {
 		"peer_addr", peerAddr, "part", setup.Part,
 		"iterations", partial.Iterations, "elapsed", time.Since(start))
 	return writeJSONFrameTimeout(conn, d, ftResult, partialToFrame(partial))
+}
+
+// resolveInstance turns a setup frame's content hash into a decoded
+// instance: a cache hit answers ftHashOK and reuses the shared decoded
+// graph; a miss answers ftHashMiss, reads the ftInstance re-sync frame,
+// verifies the decoded instance really hashes to the requested key (a
+// poisoned entry would corrupt every later solve that hits it) and caches
+// it. The hit/miss is reported through the optional CacheTracer hook.
+func (p *Peer) resolveInstance(conn net.Conn, d time.Duration, hash string) (*hypergraph.Hypergraph, bool, error) {
+	if hash == "" {
+		return nil, false, fmt.Errorf("%w: setup without instance hash", ErrBadFrame)
+	}
+	cache := p.instances()
+	if g, ok := cache.get(hash); ok {
+		p.traceCache(true, g.MemoryBytes())
+		if err := writeFrameTimeout(conn, d, ftHashOK, []byte(hash)); err != nil {
+			return nil, false, err
+		}
+		return g, true, nil
+	}
+	if err := writeFrameTimeout(conn, d, ftHashMiss, []byte(hash)); err != nil {
+		return nil, false, err
+	}
+	ft, payload, err := readFrameTimeout(conn, d)
+	if err != nil {
+		return nil, false, err
+	}
+	if ft != ftInstance {
+		return nil, false, fmt.Errorf("%w: expected instance after miss, got type %d", ErrBadFrame, ft)
+	}
+	g := new(hypergraph.Hypergraph)
+	if err := g.UnmarshalJSON(payload); err != nil {
+		return nil, false, sendError(conn, d, fmt.Errorf("decode instance: %w", err))
+	}
+	if got := g.Hash(); got != hash {
+		return nil, false, sendError(conn, d,
+			fmt.Errorf("instance hash mismatch: setup %s, content %s", hash, got))
+	}
+	p.traceCache(false, g.MemoryBytes())
+	cache.put(hash, g)
+	return g, false, nil
+}
+
+// traceCache forwards one instance-cache lookup to the optional
+// CacheTracer extension of the peer's tracer.
+func (p *Peer) traceCache(hit bool, bytes int64) {
+	if ct, ok := p.Tracer.(telemetry.CacheTracer); ok {
+		ct.InstanceCache(hit, int(bytes))
+	}
 }
 
 // sendError reports a solver-level failure as a frame; the original error

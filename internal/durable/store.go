@@ -1,0 +1,318 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"distcover"
+)
+
+const (
+	walFile  = "wal.log"
+	snapFile = "state.snap"
+
+	// snapMagic heads snapshot files; the version byte after it gates
+	// future format changes.
+	snapMagic   = "distcover-wal-snap"
+	snapVersion = 1
+)
+
+// SessionRecord is one session inside a snapshot file: everything needed
+// to rebuild it without replaying its history.
+type SessionRecord struct {
+	ID       string                     `json:"id"`
+	Options  json.RawMessage            `json:"options,omitempty"`
+	Snapshot *distcover.SessionSnapshot `json:"snapshot"`
+}
+
+// Recovery is what Open found on disk: the sessions of the latest
+// snapshot, plus the WAL records logged after it, in append order.
+type Recovery struct {
+	// SnapshotSeq is the sequence number the snapshot covers; records with
+	// Seq ≤ SnapshotSeq are already folded into Sessions.
+	SnapshotSeq uint64
+	Sessions    []SessionRecord
+	Records     []Record
+	// TornTail reports that the WAL ended in an incomplete or corrupt
+	// record — the expected signature of a crash mid-write — and that the
+	// tail was discarded (and truncated from the file) at the last intact
+	// record boundary.
+	TornTail bool
+}
+
+// Store is an open WAL directory. Append is safe for concurrent use; the
+// caller provides ordering (coverd serializes per-session, see
+// server.walMu) and Store serializes the file itself.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	seq    uint64
+	closed bool
+}
+
+// Open opens (creating if needed) the WAL directory and recovers its
+// state: the latest snapshot, the WAL records after it, and the next
+// sequence number. A torn WAL tail — the normal result of crashing
+// mid-write — is truncated silently and flagged; any other corruption is
+// an error, because silently dropping acknowledged records would break
+// the durability contract.
+func Open(dir string) (*Store, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	rec := &Recovery{}
+	if err := readSnapshotFile(filepath.Join(dir, snapFile), rec); err != nil {
+		return nil, nil, err
+	}
+	maxSeq, err := replayWAL(filepath.Join(dir, walFile), rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &Store{dir: dir, f: f, w: bufio.NewWriter(f), seq: rec.SnapshotSeq}
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	return s, rec, nil
+}
+
+// Append assigns the next sequence number to r, writes it to the WAL and
+// flushes to the operating system. On return the record survives a crash
+// of this process.
+func (s *Store) Append(r Record) (uint64, error) {
+	payload0 := r // encode with seq assigned under the lock
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("durable: store closed")
+	}
+	s.seq++
+	payload0.Seq = s.seq
+	payload, err := EncodeRecord(payload0)
+	if err != nil {
+		s.seq--
+		return 0, err
+	}
+	if err := writeFrame(s.w, payload); err != nil {
+		return 0, fmt.Errorf("durable: append: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return 0, fmt.Errorf("durable: append: %w", err)
+	}
+	return s.seq, nil
+}
+
+// WriteSnapshot atomically replaces the snapshot file with the given
+// sessions, covering everything logged so far, then truncates the WAL.
+// The write order (tmp file → rename → truncate) means a crash at any
+// point leaves a recoverable directory: before the rename the old
+// snapshot plus the full WAL is intact; after it the WAL records are
+// redundant (replaying them over the new snapshot is idempotent only
+// because the caller snapshots under its commit lock — see server
+// documentation) and the truncate merely discards them.
+func (s *Store) WriteSnapshot(sessions []SessionRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("durable: store closed")
+	}
+	body := make([]byte, 0, 1024)
+	body = binary.AppendUvarint(body, s.seq)
+	body = binary.AppendUvarint(body, uint64(len(sessions)))
+	for _, sr := range sessions {
+		blob, err := json.Marshal(sr)
+		if err != nil {
+			return fmt.Errorf("durable: snapshot: %w", err)
+		}
+		body = binary.AppendUvarint(body, uint64(len(blob)))
+		body = append(body, blob...)
+	}
+	var file []byte
+	file = append(file, snapMagic...)
+	file = append(file, snapVersion)
+	file = binary.BigEndian.AppendUint32(file, crc32.ChecksumIEEE(body))
+	file = append(file, body...)
+
+	tmp := filepath.Join(s.dir, snapFile+".tmp")
+	if err := os.WriteFile(tmp, file, 0o644); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapFile)); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	// The WAL's records are all covered by the snapshot now; start it over.
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	s.w.Reset(s.f)
+	return nil
+}
+
+// Seq returns the last assigned sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Close flushes and closes the WAL file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("durable: close: %w", err)
+	}
+	return s.f.Close()
+}
+
+// writeFrame frames one record on disk: u32 length | u32 crc32(payload) |
+// payload, both big-endian.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// replayWAL reads records into rec, skipping those the snapshot already
+// covers, and truncates a torn tail in place. Returns the highest
+// sequence number seen.
+func replayWAL(path string, rec *Recovery) (uint64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("durable: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var (
+		good   int64 // offset after the last intact record
+		maxSeq uint64
+	)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end
+			}
+			rec.TornTail = true
+			break
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordBytes {
+			rec.TornTail = true
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			rec.TornTail = true
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			rec.TornTail = true
+			break
+		}
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			// The frame checksummed clean but the payload is malformed:
+			// that is not a torn write, it is real corruption.
+			return 0, fmt.Errorf("durable: wal record at offset %d: %w", good, err)
+		}
+		good += int64(8 + length)
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+		if r.Seq > rec.SnapshotSeq {
+			rec.Records = append(rec.Records, r)
+		}
+	}
+	if rec.TornTail {
+		if err := os.Truncate(path, good); err != nil {
+			return 0, fmt.Errorf("durable: truncate torn wal: %w", err)
+		}
+	}
+	return maxSeq, nil
+}
+
+// readSnapshotFile loads the snapshot into rec; a missing file is an
+// empty state, any unreadable content is an error (snapshots are written
+// atomically, so unlike the WAL a torn snapshot should not exist).
+func readSnapshotFile(path string, rec *Recovery) error {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	hdr := len(snapMagic) + 1 + 4
+	if len(raw) < hdr || string(raw[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("durable: snapshot: %w: bad magic", ErrCorrupt)
+	}
+	if v := raw[len(snapMagic)]; v != snapVersion {
+		return fmt.Errorf("durable: snapshot: unsupported version %d", v)
+	}
+	sum := binary.BigEndian.Uint32(raw[len(snapMagic)+1 : hdr])
+	body := raw[hdr:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return fmt.Errorf("durable: snapshot: %w: checksum mismatch", ErrCorrupt)
+	}
+	c := &byteCursor{p: body}
+	seq, err := c.uvarint()
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	n, err := c.uvarint()
+	if err != nil || n > uint64(len(body)) {
+		return fmt.Errorf("durable: snapshot: %w", ErrCorrupt)
+	}
+	rec.SnapshotSeq = seq
+	for i := uint64(0); i < n; i++ {
+		l, err := c.uvarint()
+		if err != nil {
+			return fmt.Errorf("durable: snapshot: %w", err)
+		}
+		blob, err := c.bytes(l)
+		if err != nil {
+			return fmt.Errorf("durable: snapshot: %w", ErrCorrupt)
+		}
+		var sr SessionRecord
+		if err := json.Unmarshal(blob, &sr); err != nil {
+			return fmt.Errorf("durable: snapshot session %d: %w", i, err)
+		}
+		rec.Sessions = append(rec.Sessions, sr)
+	}
+	if c.off != len(body) {
+		return fmt.Errorf("durable: snapshot: %w: trailing bytes", ErrCorrupt)
+	}
+	return nil
+}

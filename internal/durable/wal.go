@@ -1,0 +1,224 @@
+// Package durable gives coverd sessions crash durability: a write-ahead
+// log of session life-cycle records (create / delta batch / delete) plus
+// periodic snapshot files that compact the log. The two file formats are
+// specified normatively in docs/PROTOCOL.md; this package is the only
+// reader and writer of either.
+//
+// The durability contract is against process death (SIGKILL, panic, OOM):
+// every record is flushed to the operating system before the server
+// acknowledges the request it logs, so anything acknowledged survives a
+// crash of the process. Surviving the loss of the machine's page cache
+// (power failure) would additionally need fsync per record, which the
+// write path deliberately omits — session recomputation is cheap relative
+// to per-request fsync latency, and the snapshot loop bounds the loss
+// window either way.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"distcover"
+)
+
+// RecordType discriminates WAL records.
+type RecordType uint8
+
+const (
+	// RecCreate logs a session creation: the solve options and the full
+	// base instance, both as the JSON the HTTP API already uses.
+	RecCreate RecordType = 1
+	// RecUpdate logs one applied delta batch in the compact binary form.
+	RecUpdate RecordType = 2
+	// RecDelete logs a session deletion (explicit or registry eviction).
+	RecDelete RecordType = 3
+)
+
+// ErrCorrupt reports a structurally invalid WAL record or snapshot body.
+var ErrCorrupt = errors.New("durable: corrupt record")
+
+// maxRecordBytes bounds a single record; larger lengths are corruption.
+const maxRecordBytes = 1 << 30
+
+// Record is one WAL entry. Seq is assigned by Store.Append and is strictly
+// increasing across the life of a WAL directory, surviving snapshots and
+// restarts.
+type Record struct {
+	Type RecordType
+	Seq  uint64
+	ID   string // session id
+
+	// Options and Instance carry the create payloads (RecCreate only):
+	// the session's solve options and base instance, as opaque JSON.
+	Options  []byte
+	Instance []byte
+
+	// Delta is the applied batch (RecUpdate only).
+	Delta distcover.Delta
+}
+
+// EncodeRecord serializes a record payload (without file framing):
+//
+//	u8 type | uvarint seq | uvarint len(id) | id | body
+//
+// where the body is type-specific (see docs/PROTOCOL.md). The encoding is
+// canonical: DecodeRecord∘EncodeRecord is the identity, and
+// EncodeRecord∘DecodeRecord reproduces the input bytes exactly, which the
+// WAL fuzz target enforces.
+func EncodeRecord(r Record) ([]byte, error) {
+	switch r.Type {
+	case RecCreate, RecUpdate, RecDelete:
+	default:
+		return nil, fmt.Errorf("durable: encode: unknown record type %d", r.Type)
+	}
+	buf := make([]byte, 0, 64+len(r.ID)+len(r.Options)+len(r.Instance))
+	buf = append(buf, byte(r.Type))
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(r.ID)))
+	buf = append(buf, r.ID...)
+	switch r.Type {
+	case RecCreate:
+		buf = binary.AppendUvarint(buf, uint64(len(r.Options)))
+		buf = append(buf, r.Options...)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Instance)))
+		buf = append(buf, r.Instance...)
+	case RecUpdate:
+		buf = binary.AppendUvarint(buf, uint64(len(r.Delta.Weights)))
+		for _, w := range r.Delta.Weights {
+			if w < 0 {
+				return nil, fmt.Errorf("durable: encode: negative weight %d", w)
+			}
+			buf = binary.AppendUvarint(buf, uint64(w))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(r.Delta.Edges)))
+		for _, e := range r.Delta.Edges {
+			buf = binary.AppendUvarint(buf, uint64(len(e)))
+			for _, v := range e {
+				if v < 0 {
+					return nil, fmt.Errorf("durable: encode: negative vertex id %d", v)
+				}
+				buf = binary.AppendUvarint(buf, uint64(v))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// byteCursor decodes the uvarint-based payload layout with bounds checks.
+type byteCursor struct {
+	p   []byte
+	off int
+}
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.p[c.off:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	// Reject non-minimal encodings (a redundant trailing continuation
+	// byte): decode must only accept the canonical form encode emits.
+	if n > 1 && c.p[c.off+n-1] == 0 {
+		return 0, ErrCorrupt
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(c.p)-c.off) {
+		return nil, ErrCorrupt
+	}
+	b := c.p[c.off : c.off+int(n)]
+	c.off += int(n)
+	return b, nil
+}
+
+// DecodeRecord parses a record payload, rejecting trailing garbage.
+func DecodeRecord(p []byte) (Record, error) {
+	var r Record
+	if len(p) == 0 {
+		return r, ErrCorrupt
+	}
+	c := &byteCursor{p: p, off: 1}
+	r.Type = RecordType(p[0])
+	seq, err := c.uvarint()
+	if err != nil {
+		return r, err
+	}
+	r.Seq = seq
+	idLen, err := c.uvarint()
+	if err != nil {
+		return r, err
+	}
+	id, err := c.bytes(idLen)
+	if err != nil {
+		return r, err
+	}
+	r.ID = string(id)
+	switch r.Type {
+	case RecCreate:
+		n, err := c.uvarint()
+		if err != nil {
+			return r, err
+		}
+		opts, err := c.bytes(n)
+		if err != nil {
+			return r, err
+		}
+		if n, err = c.uvarint(); err != nil {
+			return r, err
+		}
+		inst, err := c.bytes(n)
+		if err != nil {
+			return r, err
+		}
+		// Copy out of the shared payload buffer; records outlive it.
+		r.Options = append([]byte(nil), opts...)
+		r.Instance = append([]byte(nil), inst...)
+	case RecUpdate:
+		nw, err := c.uvarint()
+		if err != nil || nw > uint64(len(p)) {
+			return r, ErrCorrupt
+		}
+		if nw > 0 {
+			r.Delta.Weights = make([]int64, nw)
+			for i := range r.Delta.Weights {
+				w, err := c.uvarint()
+				if err != nil || w > 1<<62 {
+					return r, ErrCorrupt
+				}
+				r.Delta.Weights[i] = int64(w)
+			}
+		}
+		ne, err := c.uvarint()
+		if err != nil || ne > uint64(len(p)) {
+			return r, ErrCorrupt
+		}
+		if ne > 0 {
+			r.Delta.Edges = make([][]int, ne)
+			for i := range r.Delta.Edges {
+				k, err := c.uvarint()
+				if err != nil || k > uint64(len(p)) {
+					return r, ErrCorrupt
+				}
+				edge := make([]int, k)
+				for j := range edge {
+					v, err := c.uvarint()
+					if err != nil || v > 1<<31 {
+						return r, ErrCorrupt
+					}
+					edge[j] = int(v)
+				}
+				r.Delta.Edges[i] = edge
+			}
+		}
+	case RecDelete:
+	default:
+		return r, ErrCorrupt
+	}
+	if c.off != len(p) {
+		return r, ErrCorrupt
+	}
+	return r, nil
+}

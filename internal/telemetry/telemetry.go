@@ -77,6 +77,20 @@ type Tracer interface {
 	Protocol(rounds int, messages int64)
 }
 
+// CacheTracer is an optional extension of Tracer for the content-addressed
+// instance fabric: a cluster peer whose tracer also implements this
+// interface receives one hook per setup handshake, reporting whether the
+// requested instance was already cached (hit) and the decoded size of the
+// instance involved. Implementations that don't care simply don't
+// implement it — the Tracer interface itself is unchanged, so existing
+// implementations keep compiling.
+type CacheTracer interface {
+	// InstanceCache reports one peer-cache lookup: hit=false means the
+	// instance had to be re-synced over the wire. bytes is the decoded
+	// in-memory size of the instance (hypergraph.MemoryBytes).
+	InstanceCache(hit bool, bytes int)
+}
+
 // Multi fans every hook out to all non-nil tracers. It returns nil when
 // none remain (so callers can keep the nil-means-disabled contract), and
 // the single tracer itself when only one remains.
@@ -122,6 +136,16 @@ func (m multiTracer) Protocol(rounds int, messages int64) {
 	}
 }
 
+// InstanceCache forwards the optional CacheTracer hook to every fanned-out
+// tracer that implements it.
+func (m multiTracer) InstanceCache(hit bool, bytes int) {
+	for _, t := range m {
+		if ct, ok := t.(CacheTracer); ok {
+			ct.InstanceCache(hit, bytes)
+		}
+	}
+}
+
 // maxRecordedIterations caps the per-iteration detail a Recorder keeps.
 // Totals (PhaseSeconds, peer stats) always accumulate; only the
 // per-iteration breakdown is bounded, so a pathological million-iteration
@@ -154,6 +178,8 @@ type Recorder struct {
 	peers    map[string]*peerAcc
 	rounds   int
 	messages int64
+
+	cacheHits, cacheMisses int
 }
 
 type iterAcc struct {
@@ -312,6 +338,17 @@ func (r *Recorder) Protocol(rounds int, messages int64) {
 	r.messages += messages
 }
 
+// InstanceCache implements the optional CacheTracer extension.
+func (r *Recorder) InstanceCache(hit bool, bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if hit {
+		r.cacheHits++
+	} else {
+		r.cacheMisses++
+	}
+}
+
 // Report is the JSON trace report attached to solve results when tracing
 // is requested. All durations are seconds.
 type Report struct {
@@ -338,6 +375,11 @@ type Report struct {
 	// engine ran.
 	Rounds   int   `json:"rounds,omitempty"`
 	Messages int64 `json:"messages,omitempty"`
+	// InstanceCacheHits and InstanceCacheMisses count the peer-side
+	// content-addressed instance cache lookups observed by this recorder
+	// (populated on peer processes, not the coordinator).
+	InstanceCacheHits   int `json:"instance_cache_hits,omitempty"`
+	InstanceCacheMisses int `json:"instance_cache_misses,omitempty"`
 }
 
 // IterationTiming is one row of Report.Iterations.
@@ -372,11 +414,13 @@ func (r *Recorder) Report() *Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := &Report{
-		TraceID:      r.traceID,
-		Engine:       r.engine,
-		TotalSeconds: r.total.Seconds(),
-		Rounds:       r.rounds,
-		Messages:     r.messages,
+		TraceID:             r.traceID,
+		Engine:              r.engine,
+		TotalSeconds:        r.total.Seconds(),
+		Rounds:              r.rounds,
+		Messages:            r.messages,
+		InstanceCacheHits:   r.cacheHits,
+		InstanceCacheMisses: r.cacheMisses,
 	}
 	if r.running {
 		rep.TotalSeconds += time.Since(r.start).Seconds()

@@ -249,6 +249,15 @@ type SessionInfo struct {
 	Updates        int          `json:"updates"`
 	CertifiedBound float64      `json:"certified_bound"`
 	Result         *SolveResult `json:"result"`
+	// Recovered marks a session rehydrated from the write-ahead log after
+	// a restart (coverd -wal-dir) rather than created over this connection.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// SessionList is the GET /v1/sessions response: all live sessions, most
+// recently used first.
+type SessionList struct {
+	Sessions []*SessionInfo `json:"sessions"`
 }
 
 // SessionUpdateResult reports what one delta batch did and the refreshed

@@ -1,0 +1,321 @@
+package server
+
+// Durable sessions. With Config.WALDir set, every acknowledged session
+// mutation is logged to a write-ahead log (distcover/internal/durable)
+// before the HTTP response goes out, and a periodic snapshot compacts the
+// log. On restart, Open rehydrates the sessions: snapshot state is
+// restored directly (no re-solve), post-snapshot WAL records are replayed
+// through the ordinary Session code paths. Because every engine computes
+// the bit-identical cover, a recovered session continues exactly where the
+// crashed process stopped — same cover, same certificate.
+//
+// Consistency protocol. Two locks keep the log, the snapshot, and the
+// in-memory sessions mutually consistent:
+//
+//   - sessionEntry.walMu serializes apply+log per session, so WAL record
+//     order equals application order for that session.
+//   - Server.commitMu makes (apply, append) atomic against snapshots:
+//     mutating handlers hold the read side across both steps, the snapshot
+//     writer holds the write side across (capture state, write snapshot
+//     file, truncate WAL). Without it, a snapshot could capture a session
+//     state that already includes an update whose record is assigned a
+//     sequence number after the snapshot's, and recovery would replay the
+//     update a second time.
+//
+// Lock order is walMu → commitMu(R); the snapshot path takes only
+// commitMu(W), and only via TryLock while the server is running (see
+// snapshotNow), so the periodic snapshot can never deadlock against
+// update handlers that hold the read side while waiting for a worker.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"distcover"
+	"distcover/internal/durable"
+	"distcover/server/api"
+)
+
+// errSnapshotBusy reports a skipped periodic snapshot: session mutations
+// held the commit lock. The next tick retries; the WAL alone preserves
+// durability in the meantime.
+var errSnapshotBusy = errors.New("coverd: snapshot skipped, commits in flight")
+
+// openWAL opens the WAL directory, rehydrates the surviving sessions, and
+// starts the snapshot loop. Called from Open before the worker pool and
+// HTTP routes exist, so recovery is single-threaded.
+func (s *Server) openWAL() error {
+	store, rec, err := durable.Open(s.cfg.WALDir)
+	if err != nil {
+		return fmt.Errorf("coverd: wal: %w", err)
+	}
+	s.wal = store
+	s.snapStop = make(chan struct{})
+	s.snapDone = make(chan struct{})
+	s.sessions.onEvict = s.logEviction
+	if rec.TornTail && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("coverd: wal ended in a torn record (crash mid-write); truncated at last intact record")
+	}
+	s.recoverSessions(rec)
+	go s.snapshotLoop()
+	return nil
+}
+
+// recoverSessions rebuilds the session registry from a recovery: snapshot
+// sessions first, then the WAL records logged after the snapshot, in
+// order. Individual unrecoverable sessions are logged and skipped rather
+// than failing startup — the rest of the state is still worth serving.
+func (s *Server) recoverSessions(rec *durable.Recovery) {
+	recovered := 0
+	for _, sr := range rec.Sessions {
+		if s.restoreSession(sr) {
+			recovered++
+		}
+	}
+	for _, r := range rec.Records {
+		switch r.Type {
+		case durable.RecCreate:
+			if _, ok := s.sessions.get(r.ID); ok {
+				continue // already restored from the snapshot
+			}
+			if s.replayCreate(r) {
+				recovered++
+			}
+		case durable.RecUpdate:
+			e, ok := s.sessions.get(r.ID)
+			if !ok {
+				s.warn("coverd: wal replay: update for unknown session", "session", r.ID, "seq", r.Seq)
+				continue
+			}
+			if _, err := e.sess.Update(r.Delta); err != nil {
+				s.warn("coverd: wal replay: update failed", "session", r.ID, "seq", r.Seq, "err", err)
+				continue
+			}
+			s.sessions.refresh(e)
+		case durable.RecDelete:
+			s.sessions.remove(r.ID)
+		}
+	}
+	if recovered > 0 && s.cfg.Logger != nil {
+		s.cfg.Logger.Info("coverd: recovered sessions from wal",
+			"dir", s.cfg.WALDir, "sessions", s.sessions.len(),
+			"snapshot_seq", rec.SnapshotSeq, "replayed_records", len(rec.Records))
+	}
+}
+
+// restoreSession rebuilds one snapshot session without re-solving it.
+func (s *Server) restoreSession(sr durable.SessionRecord) bool {
+	opts, libOpts, peers, ok := s.recoveryOptions(sr.ID, sr.Options)
+	if !ok {
+		return false
+	}
+	sess, err := distcover.RestoreSession(sr.Snapshot, libOpts...)
+	if err != nil {
+		s.warn("coverd: recovery: restore failed", "session", sr.ID, "err", err)
+		return false
+	}
+	s.installRecovered(sr.ID, sess, opts, peers, "")
+	return true
+}
+
+// replayCreate rebuilds a session whose create record survived in the WAL
+// (it was created after the last snapshot): the initial solve reruns.
+func (s *Server) replayCreate(r durable.Record) bool {
+	opts, libOpts, peers, ok := s.recoveryOptions(r.ID, r.Options)
+	if !ok {
+		return false
+	}
+	inst, err := distcover.ReadInstance(bytes.NewReader(r.Instance))
+	if err != nil {
+		s.warn("coverd: recovery: bad instance in create record", "session", r.ID, "err", err)
+		return false
+	}
+	sess, err := distcover.NewSession(inst, libOpts...)
+	if err != nil {
+		s.warn("coverd: recovery: initial solve failed", "session", r.ID, "err", err)
+		return false
+	}
+	s.installRecovered(r.ID, sess, opts, peers, inst.Hash())
+	return true
+}
+
+func (s *Server) installRecovered(id string, sess *distcover.Session, opts api.SolveOptions, peers []string, baseHash string) {
+	if len(peers) > 0 {
+		sess.SetClusterPeers(peers...)
+	}
+	s.sessions.addEntry(&sessionEntry{id: id, sess: sess, opts: opts, recovered: true, baseHash: baseHash})
+	s.metrics.recordSessionRecovered()
+}
+
+// recoveryOptions maps a recovered session's stored API options onto
+// library options. Cluster sessions are rebuilt on the flat engine — the
+// peers may not be reachable while this server is starting, and the flat
+// solver computes the bit-identical cover — then re-pointed at the
+// configured peers for future updates.
+func (s *Server) recoveryOptions(id string, raw []byte) (api.SolveOptions, []distcover.Option, []string, bool) {
+	var opts api.SolveOptions
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &opts); err != nil {
+			s.warn("coverd: recovery: bad options", "session", id, "err", err)
+			return opts, nil, nil, false
+		}
+	}
+	mapped := opts
+	var peers []string
+	if opts.Engine == api.EngineCluster {
+		mapped.Engine = api.EngineFlat
+		peers = s.cfg.ClusterPeers
+	}
+	libOpts, err := sessionLibOptions(mapped, s.pool.cluster)
+	if err != nil {
+		s.warn("coverd: recovery: unusable options", "session", id, "err", err)
+		return opts, nil, nil, false
+	}
+	// Same telemetry wiring as runSessionCreate, so recovered sessions keep
+	// feeding the phase metrics on later updates.
+	libOpts = append(libOpts, distcover.WithTracer(s.metrics.SolveTracer(engineLabel(opts.Engine))))
+	if s.cfg.Logger != nil {
+		libOpts = append(libOpts, distcover.WithLogger(s.cfg.Logger))
+	}
+	return opts, libOpts, peers, true
+}
+
+// logCreateAndRegister appends a create record and publishes the entry,
+// atomically with respect to snapshots (a snapshot between the two would
+// drop the session: its record would be truncated away but its state not
+// yet captured). Without a WAL it just registers. On log failure the
+// session is not registered; the caller owns (and closes) it.
+func (s *Server) logCreateAndRegister(e *sessionEntry, instance []byte) error {
+	if s.wal == nil {
+		s.sessions.addEntry(e)
+		return nil
+	}
+	optsJSON, err := json.Marshal(e.opts)
+	if err != nil {
+		return fmt.Errorf("coverd: wal: encode options: %w", err)
+	}
+	s.commitMu.RLock()
+	defer s.commitMu.RUnlock()
+	if _, err := s.wal.Append(durable.Record{
+		Type: durable.RecCreate, ID: e.id, Options: optsJSON, Instance: instance,
+	}); err != nil {
+		return fmt.Errorf("coverd: wal: %w", err)
+	}
+	s.metrics.recordWALRecord()
+	s.sessions.addEntry(e)
+	return nil
+}
+
+// logUpdate appends an update record for an already-applied delta. The
+// caller holds entry.walMu and commitMu(R).
+func (s *Server) logUpdate(e *sessionEntry, delta distcover.Delta) error {
+	if _, err := s.wal.Append(durable.Record{Type: durable.RecUpdate, ID: e.id, Delta: delta}); err != nil {
+		return fmt.Errorf("coverd: wal: %w", err)
+	}
+	s.metrics.recordWALRecord()
+	return nil
+}
+
+// logDelete appends a delete record. The caller holds commitMu(R) (or is
+// single-threaded recovery/eviction under a mutating handler's lock).
+func (s *Server) logDelete(id string) {
+	if _, err := s.wal.Append(durable.Record{Type: durable.RecDelete, ID: id}); err != nil {
+		s.warn("coverd: wal: delete record failed", "session", id, "err", err)
+		return
+	}
+	s.metrics.recordWALRecord()
+}
+
+// logEviction is the registry's eviction hook: budget evictions are
+// deletes the client never asked for, but the log must still record them
+// or recovery would resurrect the evicted sessions. Eviction happens
+// inside addEntry/refresh, whose durable callers hold commitMu(R).
+func (s *Server) logEviction(e *sessionEntry) {
+	s.logDelete(e.id)
+	s.invalidatePeerCaches(e)
+}
+
+// invalidatePeerCaches asks the cluster peers to drop a deleted cluster
+// session's base instance from their content-addressed caches.
+// Best-effort: a dead peer re-fetches on the next miss anyway.
+func (s *Server) invalidatePeerCaches(e *sessionEntry) {
+	if e.opts.Engine != api.EngineCluster || e.baseHash == "" || len(s.cfg.ClusterPeers) == 0 {
+		return
+	}
+	hash, peers := e.baseHash, s.cfg.ClusterPeers
+	go func() {
+		if err := distcover.ClusterInvalidate(hash, peers); err != nil {
+			s.warn("coverd: peer cache invalidation failed", "hash", hash, "err", err)
+		}
+	}()
+}
+
+// snapshotLoop periodically compacts the WAL, routing the work through the
+// job queue so snapshots show up in queue metrics and yield to solves. A
+// full queue skips the tick: compaction is an optimization, the WAL alone
+// preserves durability.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			j := newSnapshotJob(func() error { return s.snapshotNow(false) })
+			if err := s.queue.tryEnqueue(j); err != nil {
+				continue
+			}
+			select {
+			case <-j.done:
+			case <-s.snapStop:
+				return
+			}
+			if st := j.snapshot(); st.Error != "" && st.Error != errSnapshotBusy.Error() {
+				s.warn("coverd: snapshot failed", "err", st.Error)
+			}
+		}
+	}
+}
+
+// snapshotNow captures every live session and writes the snapshot file.
+// block selects Lock vs TryLock on the commit lock: the periodic path must
+// not block (a snapshot job waiting on a worker-held lock while update
+// handlers wait for workers would deadlock a small pool), the final
+// shutdown snapshot runs after the pool stopped and can afford to wait.
+func (s *Server) snapshotNow(block bool) error {
+	if block {
+		s.commitMu.Lock()
+	} else if !s.commitMu.TryLock() {
+		return errSnapshotBusy
+	}
+	defer s.commitMu.Unlock()
+	entries := s.sessions.list()
+	records := make([]durable.SessionRecord, 0, len(entries))
+	for _, e := range entries {
+		snap, err := e.sess.Snapshot()
+		if err != nil {
+			continue // closed under us; its delete record is in the log
+		}
+		optsJSON, err := json.Marshal(e.opts)
+		if err != nil {
+			return fmt.Errorf("coverd: snapshot: encode options: %w", err)
+		}
+		records = append(records, durable.SessionRecord{ID: e.id, Options: optsJSON, Snapshot: snap})
+	}
+	if err := s.wal.WriteSnapshot(records); err != nil {
+		return err
+	}
+	s.metrics.recordWALSnapshot()
+	return nil
+}
+
+func (s *Server) warn(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn(msg, args...)
+	}
+}

@@ -16,6 +16,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
@@ -190,9 +191,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.recordSubmit()
-	select {
-	case <-j.done:
-	case <-r.Context().Done():
+	if !s.waitJob(j, r) {
 		return
 	}
 	st := j.snapshot()
@@ -200,11 +199,44 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "session solve failed: %s", st.Error)
 		return
 	}
-	entry := s.sessions.add(j.newSess, req.Options)
+	entry := &sessionEntry{id: newJobID(), sess: j.newSess, opts: req.Options, baseHash: inst.Hash()}
+	if err := s.logCreateAndRegister(entry, req.Instance); err != nil {
+		// Not durable ⇒ not created: acknowledging a session the WAL does
+		// not know about would silently drop it on the next restart.
+		j.newSess.Close()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	s.metrics.recordSessionCreate()
 	info := entry.info()
 	info.Result.ElapsedMS = st.Result.ElapsedMS
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// waitJob waits for a queued job. Without a WAL a vanished client just
+// abandons the wait (the worker still completes the job); with one, the
+// handler must see the job finish so the applied mutation is logged before
+// anything else touches the session.
+func (s *Server) waitJob(j *job, r *http.Request) bool {
+	if s.wal != nil {
+		<-j.done
+		return true
+	}
+	select {
+	case <-j.done:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	entries := s.sessions.list()
+	infos := make([]*api.SessionInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, e.info())
+	}
+	writeJSON(w, http.StatusOK, api.SessionList{Sessions: infos})
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
@@ -229,21 +261,36 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &d) {
 		return
 	}
-	j := newSessionUpdateJob(entry, distcover.Delta{Weights: d.Weights, Edges: d.Edges})
+	delta := distcover.Delta{Weights: d.Weights, Edges: d.Edges}
+	if s.wal != nil {
+		// Serialize apply+log per session and shut out snapshots between
+		// the two (lock order walMu → commitMu(R); see durability.go).
+		entry.walMu.Lock()
+		defer entry.walMu.Unlock()
+		s.commitMu.RLock()
+		defer s.commitMu.RUnlock()
+	}
+	j := newSessionUpdateJob(entry, delta)
 	if err := s.queue.tryEnqueue(j); err != nil {
 		s.rejectFull(w)
 		return
 	}
 	s.metrics.recordSubmit()
-	select {
-	case <-j.done:
-	case <-r.Context().Done():
+	if !s.waitJob(j, r) {
 		return
 	}
 	st := j.snapshot()
 	if st.Error != "" {
 		writeError(w, http.StatusUnprocessableEntity, "session update failed: %s", st.Error)
 		return
+	}
+	if s.wal != nil {
+		if err := s.logUpdate(entry, delta); err != nil {
+			// The delta is applied in memory but not durable; surface that
+			// loudly rather than acknowledging a write the log lost.
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 	}
 	s.metrics.recordSessionUpdate()
 	// The delta grew the session's instance: re-weigh it against the byte
@@ -265,10 +312,26 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.remove(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	entry, ok := s.sessions.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
+	if s.wal != nil {
+		entry.walMu.Lock()
+		defer entry.walMu.Unlock()
+		s.commitMu.RLock()
+		defer s.commitMu.RUnlock()
+	}
+	if !s.sessions.remove(id) {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	if s.wal != nil {
+		s.logDelete(id)
+	}
+	s.invalidatePeerCaches(entry)
 	w.WriteHeader(http.StatusNoContent)
 }
 

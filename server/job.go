@@ -20,6 +20,12 @@ const (
 	jobSessionCreate
 	// jobSessionUpdate applies a delta batch to an existing session.
 	jobSessionUpdate
+	// jobSnapshot compacts the WAL into a snapshot file. Running it through
+	// the queue makes snapshots visible in queue metrics and naturally
+	// yields to solve traffic; the snapshot function itself never blocks on
+	// in-flight updates (it skips instead), so a snapshot job on a worker
+	// cannot deadlock against update handlers waiting for workers.
+	jobSnapshot
 )
 
 // job is one unit of work flowing through the queue to the worker pool.
@@ -44,6 +50,9 @@ type job struct {
 	delta     distcover.Delta
 	newSess   *distcover.Session
 	upd       *distcover.UpdateStats
+
+	// snapFn is the work of a jobSnapshot.
+	snapFn func() error
 
 	mu     sync.Mutex
 	status string
@@ -91,6 +100,34 @@ func newSessionUpdateJob(entry *sessionEntry, delta distcover.Delta) *job {
 		status:     api.JobQueued,
 		done:       make(chan struct{}),
 	}
+}
+
+// newSnapshotJob queues one WAL compaction pass.
+func newSnapshotJob(fn func() error) *job {
+	return &job{
+		id:         newJobID(),
+		kind:       jobSnapshot,
+		snapFn:     fn,
+		enqueuedAt: time.Now(),
+		status:     api.JobQueued,
+		done:       make(chan struct{}),
+	}
+}
+
+// skipCacheRead reports whether the job must not be served from the
+// result cache: uncacheable problems, explicit no-cache requests, and
+// traced solves (their report must describe an actual run).
+func (j *job) skipCacheRead() bool {
+	return j.cacheKey == "" || j.opts.NoCache || j.opts.Trace
+}
+
+// skipCacheWrite reports whether the job's result must not populate the
+// result cache. NoCache only bypasses the read side — the computed result
+// is still valid for other callers — but a traced result carries a
+// per-run report that must never be replayed to requests that did not ask
+// for tracing.
+func (j *job) skipCacheWrite() bool {
+	return j.cacheKey == "" || j.opts.Trace
 }
 
 func newJobID() string {

@@ -88,6 +88,11 @@ type Metrics struct {
 	batchRequests   int64
 	sessionsCreated int64
 	sessionUpdates  int64
+	peerCacheHits   int64 // peer instance-cache outcomes (peer processes)
+	peerCacheMisses int64
+	sessionsRecov   int64 // sessions rehydrated from the WAL
+	walRecords      int64
+	walSnapshots    int64
 	bucketCounts    []int64 // parallel to latencyBuckets, non-cumulative
 	latencySum      float64 // seconds
 	latencyCount    int64
@@ -180,6 +185,13 @@ func (t tracerAdapter) Frame(_, dir, _ string, bytes int) {
 
 func (t tracerAdapter) Protocol(int, int64) {} // report-only; no metric
 
+// InstanceCache implements telemetry.CacheTracer: on peer processes the
+// cluster protocol reports whether each setup's instance hash hit the
+// content-addressed cache.
+func (t tracerAdapter) InstanceCache(hit bool, _ int) {
+	t.m.recordPeerCache(hit)
+}
+
 // SolveTracer returns a telemetry sink that aggregates one solve's phase
 // timings into coverd_solve_phase_seconds{engine=...} (and, for cluster
 // solves, the exchange and wire-volume series). The worker pool attaches
@@ -253,6 +265,34 @@ func (m *Metrics) recordSessionUpdate() {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) recordPeerCache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.peerCacheHits++
+	} else {
+		m.peerCacheMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordSessionRecovered() {
+	m.mu.Lock()
+	m.sessionsRecov++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordWALRecord() {
+	m.mu.Lock()
+	m.walRecords++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordWALSnapshot() {
+	m.mu.Lock()
+	m.walSnapshots++
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of the counters, used by tests and by
 // operators who prefer JSON over the Prometheus endpoint.
 type Snapshot struct {
@@ -265,6 +305,11 @@ type Snapshot struct {
 	BatchRequests   int64   `json:"batch_requests"`
 	SessionsCreated int64   `json:"sessions_created"`
 	SessionUpdates  int64   `json:"session_updates"`
+	PeerCacheHits   int64   `json:"peer_cache_hits"`
+	PeerCacheMisses int64   `json:"peer_cache_misses"`
+	SessionsRecov   int64   `json:"sessions_recovered"`
+	WALRecords      int64   `json:"wal_records"`
+	WALSnapshots    int64   `json:"wal_snapshots"`
 	LatencySum      float64 `json:"latency_sum_seconds"`
 	LatencyCount    int64   `json:"latency_count"`
 
@@ -286,6 +331,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		BatchRequests:   m.batchRequests,
 		SessionsCreated: m.sessionsCreated,
 		SessionUpdates:  m.sessionUpdates,
+		PeerCacheHits:   m.peerCacheHits,
+		PeerCacheMisses: m.peerCacheMisses,
+		SessionsRecov:   m.sessionsRecov,
+		WALRecords:      m.walRecords,
+		WALSnapshots:    m.walSnapshots,
 		LatencySum:      m.latencySum,
 		LatencyCount:    m.latencyCount,
 	}
@@ -386,6 +436,11 @@ func (m *Metrics) writePrometheus(w io.Writer, gauges []gauge) {
 	counter("coverd_batch_requests_total", "Batch solve requests received.", s.BatchRequests)
 	counter("coverd_sessions_created_total", "Incremental sessions opened.", s.SessionsCreated)
 	counter("coverd_session_updates_total", "Session delta batches applied.", s.SessionUpdates)
+	counter("coverd_peer_instance_cache_hits_total", "Cluster setups whose instance hash was already in this peer's content-addressed cache.", s.PeerCacheHits)
+	counter("coverd_peer_instance_cache_misses_total", "Cluster setups that had to re-sync the full instance to this peer.", s.PeerCacheMisses)
+	counter("coverd_sessions_recovered_total", "Sessions rehydrated from the write-ahead log at startup.", s.SessionsRecov)
+	counter("coverd_wal_records_total", "Records appended to the session write-ahead log.", s.WALRecords)
+	counter("coverd_wal_snapshots_total", "WAL compaction snapshots written.", s.WALSnapshots)
 
 	fmt.Fprintf(w, "# HELP coverd_solve_seconds Solver wall time of successful solves.\n# TYPE coverd_solve_seconds histogram\n")
 	cumulative := int64(0)

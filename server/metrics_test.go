@@ -18,27 +18,32 @@ import (
 // renamed, dropped, or served without HELP/TYPE headers — the contract
 // dashboards scrape against.
 var documentedMetricFamilies = map[string]string{
-	"coverd_solves_total":                 "counter",
-	"coverd_cache_hits_total":             "counter",
-	"coverd_cache_misses_total":           "counter",
-	"coverd_backpressure_total":           "counter",
-	"coverd_jobs_submitted_total":         "counter",
-	"coverd_batch_requests_total":         "counter",
-	"coverd_sessions_created_total":       "counter",
-	"coverd_session_updates_total":        "counter",
-	"coverd_solve_seconds":                "histogram",
-	"coverd_solve_phase_seconds":          "histogram",
-	"coverd_cluster_exchange_seconds":     "histogram",
-	"coverd_cluster_boundary_bytes_total": "counter",
-	"coverd_cluster_frames_total":         "counter",
-	"coverd_job_queue_wait_seconds":       "histogram",
-	"coverd_queue_depth":                  "gauge",
-	"coverd_queue_capacity":               "gauge",
-	"coverd_workers":                      "gauge",
-	"coverd_cache_entries":                "gauge",
-	"coverd_sessions":                     "gauge",
-	"coverd_session_bytes":                "gauge",
-	"coverd_session_bytes_budget":         "gauge",
+	"coverd_solves_total":                     "counter",
+	"coverd_cache_hits_total":                 "counter",
+	"coverd_cache_misses_total":               "counter",
+	"coverd_backpressure_total":               "counter",
+	"coverd_jobs_submitted_total":             "counter",
+	"coverd_batch_requests_total":             "counter",
+	"coverd_sessions_created_total":           "counter",
+	"coverd_session_updates_total":            "counter",
+	"coverd_peer_instance_cache_hits_total":   "counter",
+	"coverd_peer_instance_cache_misses_total": "counter",
+	"coverd_sessions_recovered_total":         "counter",
+	"coverd_wal_records_total":                "counter",
+	"coverd_wal_snapshots_total":              "counter",
+	"coverd_solve_seconds":                    "histogram",
+	"coverd_solve_phase_seconds":              "histogram",
+	"coverd_cluster_exchange_seconds":         "histogram",
+	"coverd_cluster_boundary_bytes_total":     "counter",
+	"coverd_cluster_frames_total":             "counter",
+	"coverd_job_queue_wait_seconds":           "histogram",
+	"coverd_queue_depth":                      "gauge",
+	"coverd_queue_capacity":                   "gauge",
+	"coverd_workers":                          "gauge",
+	"coverd_cache_entries":                    "gauge",
+	"coverd_sessions":                         "gauge",
+	"coverd_session_bytes":                    "gauge",
+	"coverd_session_bytes_budget":             "gauge",
 }
 
 // TestMetricsExposition runs solves on two engines plus a traced solve,

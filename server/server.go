@@ -35,8 +35,11 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
+	"time"
 
 	"distcover"
+	"distcover/internal/durable"
 	"distcover/server/api"
 )
 
@@ -81,6 +84,14 @@ type Config struct {
 	// coordinator's per-solve and per-peer lines, each carrying the
 	// solve's trace id). nil is silent.
 	Logger *slog.Logger
+	// WALDir, when non-empty, makes sessions durable: creates, delta
+	// batches and deletes are logged to a write-ahead log in this directory
+	// before they are acknowledged, and Open rehydrates the surviving
+	// sessions on restart (coverd -wal-dir). Empty disables durability.
+	WALDir string
+	// SnapshotInterval is how often the WAL is compacted into a snapshot
+	// file (default 1m when WALDir is set; coverd -snapshot-interval).
+	SnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +125,9 @@ func (c Config) withDefaults() Config {
 	case c.SessionMemoryBudget < 0:
 		c.SessionMemoryBudget = 0
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = time.Minute
+	}
 	return c
 }
 
@@ -128,10 +142,33 @@ type Server struct {
 	jobs     *jobRegistry
 	sessions *sessionRegistry
 	mux      *http.ServeMux
+
+	// Durability (nil wal ⇒ disabled). commitMu makes apply+log atomic with
+	// respect to snapshots: mutating handlers hold the read side across
+	// (apply to session, append WAL record), the snapshot writer holds the
+	// write side across (capture sessions, write snapshot file). Without it
+	// a snapshot could capture an applied update whose record lands after
+	// the snapshot's sequence number and gets replayed twice on recovery.
+	wal      *durable.Store
+	commitMu sync.RWMutex
+	snapStop chan struct{}
+	snapDone chan struct{}
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. It panics if the
+// configured WAL directory cannot be opened or replayed; use Open to
+// handle durability errors.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server, recovers durable sessions from cfg.WALDir if set,
+// and starts the worker pool and snapshot loop.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -144,10 +181,15 @@ func New(cfg Config) *Server {
 	s.pool = newWorkerPool(cfg.Workers, s.queue, s.cache, s.metrics)
 	s.pool.cluster = clusterSettings{peers: cfg.ClusterPeers, partitions: cfg.ClusterPartitions}
 	s.pool.logger = cfg.Logger
+	if cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
 	s.pool.start()
 	s.mux = http.NewServeMux()
 	s.routes()
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving the coverd API.
@@ -157,7 +199,23 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close stops the worker pool; queued jobs fail, in-flight solves finish.
-func (s *Server) Close() { s.pool.close() }
+// With a WAL configured it then writes a final snapshot and closes the log,
+// so a clean shutdown restarts from the snapshot alone.
+func (s *Server) Close() {
+	if s.wal != nil {
+		close(s.snapStop)
+		<-s.snapDone
+	}
+	s.pool.close()
+	if s.wal != nil {
+		if err := s.snapshotNow(true); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("coverd: final snapshot failed", "err", err)
+		}
+		if err := s.wal.Close(); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("coverd: wal close failed", "err", err)
+		}
+	}
+}
 
 // Workers returns the configured worker pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
@@ -211,10 +269,9 @@ func hashILP(spec *api.ILPSpec) string {
 }
 
 // lookupCache serves a request from the cache if allowed, recording
-// hit/miss metrics. Returns nil on miss. Traced requests never read the
-// cache: their report must describe an actual run.
+// hit/miss metrics. Returns nil on miss.
 func (s *Server) lookupCache(j *job) *api.SolveResult {
-	if j.cacheKey == "" || j.opts.NoCache || j.opts.Trace {
+	if j.skipCacheRead() {
 		return nil
 	}
 	res := s.cache.get(j.cacheKey)

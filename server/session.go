@@ -17,6 +17,17 @@ type sessionEntry struct {
 	// plus carried solver state), as of the last add/refresh. Guarded by
 	// the registry mutex.
 	bytes int64
+	// walMu serializes apply+log for this session when a WAL is configured,
+	// so the log's record order matches the order updates were applied.
+	// Lock order: walMu before Server.commitMu (read side).
+	walMu sync.Mutex
+	// recovered marks sessions rehydrated from the WAL after a restart.
+	// Set before the entry is published, immutable afterwards.
+	recovered bool
+	// baseHash is the content hash of the instance the session was created
+	// with; cluster sessions use it to invalidate peer instance caches on
+	// delete. Empty for recovered sessions (best-effort cleanup only).
+	baseHash string
 }
 
 // info snapshots the externally visible session state. One State() call
@@ -53,6 +64,7 @@ func (e *sessionEntry) info() *api.SessionInfo {
 		Updates:        st.Updates,
 		CertifiedBound: st.CertifiedBound,
 		Result:         res,
+		Recovered:      e.recovered,
 	}
 }
 
@@ -74,6 +86,12 @@ type sessionRegistry struct {
 	bytes    int64      // current total estimate
 	order    *list.List // front = most recently used; values are *sessionEntry
 	byID     map[string]*list.Element
+	// onEvict, if set, is called (outside r.mu, after Close) for every
+	// session evicted by the budget or count bound — not for explicit
+	// removes. The server uses it to log eviction deletes to the WAL; those
+	// call sites already hold the commit lock that keeps the log and the
+	// snapshot consistent.
+	onEvict func(*sessionEntry)
 }
 
 func newSessionRegistry(capacity int, budget int64) *sessionRegistry {
@@ -91,16 +109,29 @@ func newSessionRegistry(capacity int, budget int64) *sessionRegistry {
 // holding r.mu through a residual solve would stall every endpoint that
 // touches the registry.
 func (r *sessionRegistry) add(sess *distcover.Session, opts api.SolveOptions) *sessionEntry {
-	e := &sessionEntry{id: newJobID(), sess: sess, opts: opts, bytes: sess.MemoryBytes()}
+	return r.addEntry(&sessionEntry{id: newJobID(), sess: sess, opts: opts})
+}
+
+// addEntry registers a pre-built entry — the durable paths build their own
+// (fixed id from the WAL, recovered flag, base hash) — and runs eviction.
+func (r *sessionRegistry) addEntry(e *sessionEntry) *sessionEntry {
+	e.bytes = e.sess.MemoryBytes()
 	r.mu.Lock()
 	r.byID[e.id] = r.order.PushFront(e)
 	r.bytes += e.bytes
 	evicted := r.evictLocked()
 	r.mu.Unlock()
+	r.closeEvicted(evicted)
+	return e
+}
+
+func (r *sessionRegistry) closeEvicted(evicted []*sessionEntry) {
 	for _, old := range evicted {
 		old.sess.Close()
+		if r.onEvict != nil {
+			r.onEvict(old)
+		}
 	}
-	return e
 }
 
 // refresh re-weighs a session after an update grew its instance, evicting
@@ -118,9 +149,7 @@ func (r *sessionRegistry) refresh(e *sessionEntry) {
 	e.bytes = bytes
 	evicted := r.evictLocked()
 	r.mu.Unlock()
-	for _, old := range evicted {
-		old.sess.Close()
-	}
+	r.closeEvicted(evicted)
 }
 
 // evictLocked pops LRU entries until both bounds hold, always keeping at
@@ -167,6 +196,17 @@ func (r *sessionRegistry) remove(id string) bool {
 	}
 	el.Value.(*sessionEntry).sess.Close()
 	return true
+}
+
+// list returns all live entries, most recently used first.
+func (r *sessionRegistry) list() []*sessionEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*sessionEntry, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*sessionEntry))
+	}
+	return out
 }
 
 // len returns the number of live sessions.

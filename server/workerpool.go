@@ -104,6 +104,9 @@ func (p *workerPool) run(j *job) {
 		p.runSessionCreate(j)
 	case jobSessionUpdate:
 		p.runSessionUpdate(j)
+	case jobSnapshot:
+		j.setRunning()
+		j.complete(nil, j.snapFn())
 	default:
 		p.runSolve(j)
 	}
@@ -156,9 +159,8 @@ func (p *workerPool) runSolve(j *job) {
 	j.setRunning()
 	// A second lookup here (the handler already checked at submit time)
 	// catches duplicates that were queued behind the first computation of
-	// the same instance. Traced solves bypass the cache in both directions:
-	// the report must describe this run.
-	if j.cacheKey != "" && !j.opts.NoCache && !j.opts.Trace {
+	// the same instance.
+	if !j.skipCacheRead() {
 		if res := p.cache.get(j.cacheKey); res != nil {
 			p.metrics.recordCache(true)
 			j.complete(res, nil)
@@ -191,7 +193,7 @@ func (p *workerPool) runSolve(j *job) {
 	if rec != nil {
 		res.Report = rec.Report()
 	}
-	if j.cacheKey != "" && !j.opts.Trace {
+	if !j.skipCacheWrite() {
 		p.cache.put(j.cacheKey, res)
 	}
 	j.complete(res, nil)

@@ -1,0 +1,130 @@
+package distcover
+
+import (
+	"fmt"
+
+	"distcover/internal/hypergraph"
+)
+
+// SessionSnapshot is the complete serializable state of a Session: the
+// current instance (base plus all applied deltas) and the accumulated
+// primal/dual vectors and counters. Snapshot and RestoreSession round-trip
+// it losslessly — the restored session's State(), Solution() and
+// certificate are bit-identical to the original's, and subsequent Updates
+// behave exactly as they would have on the original (the engine-equivalence
+// property extends across a snapshot/restore boundary).
+//
+// The type marshals to stable JSON and is the payload coverd embeds in its
+// durable snapshot files (see docs/PROTOCOL.md); it is equally usable for
+// application-level checkpointing of long-lived library sessions.
+type SessionSnapshot struct {
+	Weights     []int64       `json:"weights"`
+	Edges       [][]int       `json:"edges"`
+	InCover     []bool        `json:"in_cover"`
+	Load        []float64     `json:"load"`
+	Dual        []float64     `json:"dual"`
+	CoverWeight int64         `json:"cover_weight"`
+	DualValue   float64       `json:"dual_value"`
+	Epsilon     float64       `json:"epsilon"`
+	Updates     int           `json:"updates"`
+	Iterations  int           `json:"iterations"`
+	Rounds      int           `json:"rounds"`
+	MaxLevel    int           `json:"max_level"`
+	Congest     *CongestStats `json:"congest,omitempty"`
+}
+
+// Snapshot captures the session's full state under one lock acquisition,
+// consistent with respect to concurrent Updates. The snapshot owns its
+// memory — later updates to the session do not alias into it.
+func (s *Session) Snapshot() (*SessionSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	n, m := s.g.NumVertices(), s.g.NumEdges()
+	snap := &SessionSnapshot{
+		Weights:     make([]int64, n),
+		Edges:       make([][]int, m),
+		InCover:     append([]bool(nil), s.inCover...),
+		Load:        append([]float64(nil), s.load...),
+		Dual:        append([]float64(nil), s.dual...),
+		CoverWeight: s.coverWeight,
+		DualValue:   s.dualValue,
+		Epsilon:     s.epsilon,
+		Updates:     s.updates,
+		Iterations:  s.iterations,
+		Rounds:      s.rounds,
+		MaxLevel:    s.maxLevel,
+	}
+	for v := 0; v < n; v++ {
+		snap.Weights[v] = s.g.Weight(hypergraph.VertexID(v))
+	}
+	for e := 0; e < m; e++ {
+		vs := s.g.Edge(hypergraph.EdgeID(e))
+		edge := make([]int, len(vs))
+		for i, v := range vs {
+			edge[i] = int(v)
+		}
+		snap.Edges[e] = edge
+	}
+	if s.congest != nil {
+		cp := *s.congest
+		snap.Congest = &cp
+	}
+	return snap, nil
+}
+
+// RestoreSession rebuilds a live session from a snapshot without re-solving
+// anything: the instance is reconstructed (its canonical content hash is
+// identical to the original's) and the primal/dual state is installed
+// directly. The options choose the execution path for future Updates
+// exactly as in NewSession — they need not match the options the
+// snapshotted session ran under, because every engine is bit-identical. A
+// cluster session is typically restored with its flat-engine equivalent
+// first and re-pointed via SetClusterPeers once peers are reachable.
+func RestoreSession(snap *SessionSnapshot, opts ...Option) (*Session, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("distcover: restore: nil snapshot")
+	}
+	n, m := len(snap.Weights), len(snap.Edges)
+	if len(snap.InCover) != n || len(snap.Load) != n {
+		return nil, fmt.Errorf("distcover: restore: state vectors sized %d/%d for %d vertices",
+			len(snap.InCover), len(snap.Load), n)
+	}
+	if len(snap.Dual) != m {
+		return nil, fmt.Errorf("distcover: restore: %d duals for %d edges", len(snap.Dual), m)
+	}
+	inst, err := NewInstance(snap.Weights, snap.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("distcover: restore: %w", err)
+	}
+	cfg := optConfig(opts)
+	s := &Session{
+		cfg:         cfg,
+		g:           inst.g,
+		inCover:     append([]bool(nil), snap.InCover...),
+		coverWeight: snap.CoverWeight,
+		load:        append([]float64(nil), snap.Load...),
+		dual:        append([]float64(nil), snap.Dual...),
+		dualValue:   snap.DualValue,
+		epsilon:     snap.Epsilon,
+		updates:     snap.Updates,
+		iterations:  snap.Iterations,
+		rounds:      snap.Rounds,
+		maxLevel:    snap.MaxLevel,
+	}
+	if snap.Congest != nil {
+		cp := *snap.Congest
+		s.congest = &cp
+	} else if cfg.congest {
+		// Restored onto a CONGEST engine: start cumulative metrics fresh so
+		// the first residual solve has somewhere to accumulate.
+		s.congest = &CongestStats{}
+	}
+	s.remap = make([]int, inst.g.NumVertices())
+	for i := range s.remap {
+		s.remap[i] = -1
+	}
+	return s, nil
+}
