@@ -1,6 +1,7 @@
 package distcover
 
 import (
+	"context"
 	"fmt"
 
 	"distcover/internal/cluster"
@@ -35,6 +36,11 @@ var (
 // cluster.Peer). A dead or unreachable peer surfaces as ErrPeerLost;
 // nothing is partially committed and the call can be retried once the peer
 // is back.
+//
+// With no peers and WithClusterPartitions(n), the same partitioned solve
+// runs entirely in-process: the partitions become co-located goroutines
+// synchronizing through a shared-memory exchanger instead of TCP — the
+// fast path for multi-partition work that happens to live on one machine.
 func ClusterSolve(in *Instance, peers []string, opts ...Option) (*Solution, error) {
 	if in == nil {
 		return nil, ErrNilInstance
@@ -69,8 +75,13 @@ func ClusterInvalidate(hash string, peers []string, opts ...Option) error {
 }
 
 // clusterRun dispatches a (possibly warm-started) solve to the configured
-// cluster peers.
+// cluster peers — or, when partitions are requested without peers, to the
+// in-process shared-memory partitioned runner (same partition planning,
+// same lockstep exchange cadence, no sockets).
 func clusterRun(g *hypergraph.Hypergraph, cfg solveConfig, carry []float64) (*core.Result, error) {
+	if len(cfg.clusterPeers) == 0 && cfg.clusterParts > 0 {
+		return clusterRunLocal(g, cfg, carry)
+	}
 	ccfg := cluster.Config{
 		Peers:      cfg.clusterPeers,
 		Partitions: cfg.clusterParts,
@@ -96,6 +107,32 @@ func clusterRun(g *hypergraph.Hypergraph, cfg solveConfig, carry []float64) (*co
 	} else {
 		res, err = cluster.SolveResidual(g, cfg.core, carry, ccfg)
 	}
+	if err != nil {
+		return nil, fmt.Errorf("distcover: cluster: %w", err)
+	}
+	return res, nil
+}
+
+// clusterRunLocal is the shared-memory fast path: the same contiguous
+// vertex-range partitions a cluster solve would ship to peers run as
+// co-located goroutines over an in-process barrier exchanger, skipping
+// TCP and the frame codec entirely. Results are bit-identical to every
+// other engine.
+func clusterRunLocal(g *hypergraph.Hypergraph, cfg solveConfig, carry []float64) (*core.Result, error) {
+	if cfg.core.Exact {
+		return nil, fmt.Errorf("distcover: cluster: %w: exact arithmetic is not distributable", core.ErrPartitionOptions)
+	}
+	// Per-partition runners share nothing with a coordinator-side trace;
+	// mirror the wire path, which runs these collectors off.
+	cfg.core.CollectTrace = false
+	cfg.core.CheckInvariants = false
+	stop := cfg.startSpan("cluster-local")
+	defer stop()
+	// The partition runners execute concurrently; the per-iteration phase
+	// hooks assume a single runner, so they stay off exactly as they do
+	// for the coordinator on the wire path.
+	cfg.core.Tracer = nil
+	res, err := core.RunPartitioned(context.Background(), g, cfg.core, carry, cfg.clusterParts)
 	if err != nil {
 		return nil, fmt.Errorf("distcover: cluster: %w", err)
 	}

@@ -209,6 +209,52 @@ func TestClusterChaosSIGKILLMidSolve(t *testing.T) {
 	waitGoroutinesBackRoot(t, before)
 }
 
+// TestClusterChaosSIGKILLMultiplexed SIGKILLs a peer process that carries
+// two multiplexed partitions on one v3 connection, mid-exchange, while a
+// second two-partition peer is healthy. The concurrent fan-out relay must
+// surface exactly one typed ErrPeerLost (not a hang, not a protocol error
+// from the half-dead channels), unblock everything, and leave the
+// coordinator able to solve again once the peer is replaced.
+func TestClusterChaosSIGKILLMultiplexed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns helper processes")
+	}
+	before := runtime.NumGoroutine()
+	func() {
+		good, _ := startHelperPeer(t, 0, 0)
+		// One connection carries both of this peer's partitions under v3;
+		// the 12th read lands after both channel setups and the instance
+		// re-syncs — inside the iteration exchange loop.
+		killer, _ := startHelperPeer(t, 1, 12)
+		inst := chaosInstance(t)
+		start := time.Now()
+		_, err := ClusterSolve(inst, []string{good, killer}, WithClusterPartitions(4))
+		if !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("err = %v, want ErrPeerLost", err)
+		}
+		if d := time.Since(start); d > 20*time.Second {
+			t.Fatalf("coordinator needed %v to fail over", d)
+		}
+
+		// Replace the dead peer: the identical multiplexed solve must now
+		// succeed and match the single-process flat result bit for bit.
+		replacement, _ := startHelperPeer(t, 0, 0)
+		got, err := ClusterSolve(inst, []string{good, replacement}, WithClusterPartitions(4))
+		if err != nil {
+			t.Fatalf("solve after replacement: %v", err)
+		}
+		want, err := Solve(inst, WithFlatEngine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Cover, want.Cover) || got.Weight != want.Weight ||
+			got.DualLowerBound != want.DualLowerBound {
+			t.Fatal("post-recovery multiplexed solve diverges from flat")
+		}
+	}()
+	waitGoroutinesBackRoot(t, before)
+}
+
 // TestClusterChaosSIGKILLMidUpdate SIGKILLs a peer inside a cluster
 // Session.Update: the update must fail with ErrPeerLost without committing
 // anything, and after the peer is replaced (SetClusterPeers) the same delta

@@ -1,10 +1,10 @@
 // Command benchharness regenerates the paper's evaluation artifacts: the
 // measured versions of Table 1 and Table 2 and the theorem-shape
-// experiments E1–E15 (run with -list for the index).
+// experiments E1–E16 (run with -list for the index).
 //
 // Usage:
 //
-//	benchharness [-exp all|T1|T2|E1..E14] [-quick] [-seed N] [-list]
+//	benchharness [-exp all|T1|T2|E1..E16] [-quick] [-seed N] [-list]
 //	             [-json file] [-baseline file] [-writebaseline file]
 //	             [-tol frac] [-portable] [-suite names]
 //	             [-cpuprofile file] [-memprofile file] [-trace]
@@ -107,7 +107,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E15)")
+		exp        = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E16)")
 		quick      = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -116,7 +116,7 @@ func run() error {
 		writeBase  = flag.String("writebaseline", "", "measure engine throughput and merge the readings into this baseline file")
 		tol        = flag.Float64("tol", 0, "regression tolerance as a fraction; >0 overrides the baseline's default and per-entry tolerances (0 = use them)")
 		portable   = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, iteration counts, speedup ratios, alloc counts), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
-		suites     = flag.String("suite", "engines,flat,sessions,cluster,allocs,fabric", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, cluster = E14 multi-process, allocs = hot-path allocation counts, fabric = E15 instance fabric + WAL overhead)")
+		suites     = flag.String("suite", "engines,flat,sessions,cluster,allocs,fabric,relay", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, cluster = E14 multi-process, allocs = hot-path allocation counts, fabric = E15 instance fabric + WAL overhead, relay = E16 fan-out vs sequential relay)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured work to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 		traceRun   = flag.Bool("trace", false, "run one flat solve of the alloc-gate fixture with telemetry attached and print its trace report as JSON")
@@ -141,6 +141,7 @@ func run() error {
 		fmt.Printf("%-3s %s\n", "E12", "Incremental sessions: residual re-solve vs from-scratch (lives outside the bench registry; see -suite)")
 		fmt.Printf("%-3s %s\n", "E14", "Multi-process cover cluster vs single-process flat (lives outside the bench registry; see -suite)")
 		fmt.Printf("%-3s %s\n", "E15", "Instance fabric setup bytes + WAL update overhead (lives outside the bench registry; see -suite)")
+		fmt.Printf("%-3s %s\n", "E16", "Relay concurrency: fan-out vs sequential cluster relay (lives outside the bench registry; see -suite)")
 		return nil
 	}
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
@@ -164,6 +165,8 @@ func run() error {
 		tables, err = sessions.ClusterExperiment(cfg)
 	case strings.EqualFold(*exp, "E15"):
 		tables, err = sessions.FabricExperiment(cfg)
+	case strings.EqualFold(*exp, "E16"):
+		tables, err = sessions.RelayExperiment(cfg)
 	case strings.EqualFold(*exp, "all"):
 		tables, err = bench.Run(*exp, cfg)
 		if err == nil {
@@ -179,6 +182,11 @@ func run() error {
 		if err == nil {
 			var extra []bench.Table
 			extra, err = sessions.FabricExperiment(cfg)
+			tables = append(tables, extra...)
+		}
+		if err == nil {
+			var extra []bench.Table
+			extra, err = sessions.RelayExperiment(cfg)
 			tables = append(tables, extra...)
 		}
 	default:
@@ -214,6 +222,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 		"cluster":  sessions.MeasureCluster,
 		"allocs":   sessions.MeasureAllocs,
 		"fabric":   sessions.MeasureFabric,
+		"relay":    sessions.MeasureRelay,
 	}
 	var selected []suite
 	for _, name := range strings.Split(suites, ",") {
@@ -223,7 +232,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 		}
 		run, ok := known[name]
 		if !ok {
-			return fmt.Errorf("-suite: unknown suite %q (have engines, flat, sessions, cluster, allocs)", name)
+			return fmt.Errorf("-suite: unknown suite %q (have engines, flat, sessions, cluster, allocs, fabric, relay)", name)
 		}
 		selected = append(selected, suite{name: name, run: run})
 	}

@@ -254,6 +254,113 @@ func TestClusterE2EProcesses(t *testing.T) {
 	}
 }
 
+// TestClusterE2EMultiplexed is the multiplexed-config leg of the CI
+// cluster job: a coordinator started with -partition 4 over two peer
+// worker processes, so each peer carries two partitions on one v3
+// connection. It requires bit-identity with the flat engine, a per-peer
+// telemetry report whose exchange counts prove both channels of each
+// connection ran (2 partitions × 2 exchanges × iterations per peer), and
+// populated cluster wire metrics on every process.
+func TestClusterE2EMultiplexed(t *testing.T) {
+	if os.Getenv("COVERD_CLUSTER_E2E") != "1" {
+		t.Skip("set COVERD_CLUSTER_E2E=1 to run the multi-process cluster E2E")
+	}
+	bin := filepath.Join(t.TempDir(), "coverd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build coverd: %v", err)
+	}
+
+	peer1 := startCoverd(t, bin, "-addr", "127.0.0.1:0", "-peer-listen", "127.0.0.1:0")
+	peer2 := startCoverd(t, bin, "-addr", "127.0.0.1:0", "-peer-listen", "127.0.0.1:0")
+	coord := startCoverd(t, bin, "-addr", "127.0.0.1:0",
+		"-peers", peer1.peerAddr+","+peer2.peerAddr, "-partition", "4")
+
+	c := client.New("http://" + coord.httpAddr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	weights := make([]int64, 500)
+	state := uint64(0xFACADE)
+	next := func(bound int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(bound))
+	}
+	for i := range weights {
+		weights[i] = int64(1 + next(300))
+	}
+	edges := make([][]int, 1500)
+	for e := range edges {
+		edges[e] = []int{next(500), next(500), next(500)}
+	}
+	inst, err := distcover.NewInstance(weights, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flat, err := c.Solve(ctx, inst, api.SolveOptions{Engine: api.EngineFlat, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Partitions in the request: the server's -partition 4 default
+	// applies, four partitions round-robin onto the two peers.
+	traced, err := c.Solve(ctx, inst, api.SolveOptions{Engine: api.EngineCluster, NoCache: true, Trace: true})
+	if err != nil {
+		t.Fatalf("multiplexed cluster solve: %v", err)
+	}
+	if !reflect.DeepEqual(traced.Cover, flat.Cover) || traced.Weight != flat.Weight ||
+		traced.DualLowerBound != flat.DualLowerBound || traced.Iterations != flat.Iterations {
+		t.Fatal("multiplexed cluster solve diverges from flat")
+	}
+
+	rep := traced.Report
+	if rep == nil {
+		t.Fatal("trace=true returned no report")
+	}
+	if len(rep.Peers) != 2 {
+		t.Fatalf("report has %d peer rows, want 2 (one per multiplexed connection)", len(rep.Peers))
+	}
+	for _, p := range rep.Peers {
+		// Both channels of this peer's shared connection must have run the
+		// full cadence: 2 partitions × 2 exchanges per iteration.
+		if want := 2 * 2 * traced.Iterations; p.Exchanges != want {
+			t.Fatalf("peer %s: %d exchanges, want %d (2 partitions × 2 exchanges × %d iterations)",
+				p.Peer, p.Exchanges, want, traced.Iterations)
+		}
+		if p.FramesSent == 0 || p.FramesReceived == 0 || p.BytesSent == 0 || p.BytesReceived == 0 {
+			t.Fatalf("peer %s row lacks wire accounting: %+v", p.Peer, p)
+		}
+	}
+
+	// Wire metrics on every process: well-formed exposition, exchange
+	// series per peer address on the coordinator, coordinator-facing series
+	// plus the cluster-peer phase series on the workers.
+	coordText := scrapeMetrics(t, coord.httpAddr)
+	checkExposition(t, "coordinator", coordText)
+	for _, peerAddr := range []string{peer1.peerAddr, peer2.peerAddr} {
+		if !strings.Contains(coordText, fmt.Sprintf("peer=%q", peerAddr)) {
+			t.Fatalf("coordinator /metrics lacks exchange series for peer %s", peerAddr)
+		}
+	}
+	for _, proc := range []struct {
+		name string
+		p    *coverdProc
+	}{{"peer1", peer1}, {"peer2", peer2}} {
+		text := scrapeMetrics(t, proc.p.httpAddr)
+		checkExposition(t, proc.name, text)
+		if !strings.Contains(text, "coverd_cluster_exchange_seconds_bucket{peer=") {
+			t.Fatalf("%s /metrics has no cluster exchange series", proc.name)
+		}
+		if !strings.Contains(text, `coverd_cluster_frames_total{direction="sent"}`) {
+			t.Fatalf("%s /metrics has no cluster frame counters", proc.name)
+		}
+		if !strings.Contains(text, `engine="cluster-peer"`) {
+			t.Fatalf("%s /metrics lacks cluster-peer phase series", proc.name)
+		}
+	}
+}
+
 // metricInt reads an unlabeled integer counter from a Prometheus scrape.
 func metricInt(t *testing.T, text, name string) int {
 	t.Helper()

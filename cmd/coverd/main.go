@@ -15,7 +15,10 @@
 // additionally speaks the cluster peer protocol, making it usable as a
 // worker in a multi-process cover cluster; with -peers it can coordinate
 // solves and sessions across such workers (HTTP requests select this with
-// "engine":"cluster"). The second form is a load generator that hammers a
+// "engine":"cluster"). Partitions beyond the peer count share one
+// multiplexed connection per peer (protocol v3). With -partition but no
+// -peers the cluster engine runs its partitions in-process over a
+// shared-memory exchanger — same partition plan, no sockets. The second form is a load generator that hammers a
 // coverd server with synthetic workloads from the library's instance
 // generators; with no -target it self-hosts a server in-process first, so
 // `coverd -loadgen` alone demonstrates the full stack. The instance pool
@@ -56,7 +59,7 @@ func main() {
 		peers = flag.String("peers", "",
 			"comma-separated peer-protocol addresses of other coverd processes; enables the \"cluster\" engine for solves and sessions")
 		partition = flag.Int("partition", 0,
-			"default partition count for cluster solves (0 = one per peer)")
+			"default partition count for cluster solves (0 = one per peer; without -peers a positive count runs the partitions in-process over shared memory)")
 		walDir = flag.String("wal-dir", "",
 			"make sessions durable: write-ahead log + snapshots in this directory, rehydrated on restart (empty = off)")
 		snapEvery = flag.Duration("snapshot-interval", time.Minute,

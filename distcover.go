@@ -211,12 +211,21 @@ var ErrNilInstance = errors.New("distcover: nil instance")
 // simulator and returns the cover with its certificate and measured
 // distributed complexity. With WithFlatEngine the lockstep iterations run
 // chunk-parallel over the instance's CSR arrays instead — bit-identical
-// results, wall-clock scaling with cores.
+// results, wall-clock scaling with cores. With WithClusterPartitions (and
+// no peers) the solve runs the in-process partitioned engine: co-located
+// partitions over a shared-memory exchanger, again bit-identical.
 func Solve(in *Instance, opts ...Option) (*Solution, error) {
 	if in == nil {
 		return nil, ErrNilInstance
 	}
 	cfg := optConfig(opts)
+	if len(cfg.clusterPeers) == 0 && cfg.clusterParts > 0 {
+		res, err := clusterRunLocal(in.g, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return solutionFromResult(res), nil
+	}
 	engine := "sim"
 	if cfg.flat {
 		engine = "flat"

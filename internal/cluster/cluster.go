@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"strings"
+	"sync"
 	"time"
 
 	"distcover/internal/core"
@@ -78,8 +80,22 @@ type Config struct {
 	// carry peer_addr.
 	Logger *slog.Logger
 	// Tracer receives per-peer exchange latency and frame accounting
-	// hooks (nil = disabled, strictly zero overhead).
+	// hooks (nil = disabled, strictly zero overhead). The fan-out relay
+	// calls it from one goroutine per connection, so the tracer must be
+	// safe for concurrent use (telemetry.Recorder and the Prometheus
+	// adapter both are).
 	Tracer telemetry.Tracer
+	// MaxProtocol caps the protocol version this coordinator negotiates
+	// (0 = the newest this build speaks). Setting 2 forces one plain v2
+	// connection per partition instead of multiplexing partitions onto a
+	// shared v3 connection per peer process.
+	MaxProtocol int
+	// SequentialRelay switches back to the historical relay that walks
+	// the peers one frame at a time on the coordinator goroutine (always
+	// plain v2, one connection per partition). It exists as the measured
+	// baseline for the concurrent fan-out relay and as wire-compat
+	// coverage; production solves leave it false.
+	SequentialRelay bool
 }
 
 func (c Config) timeout() time.Duration {
@@ -104,16 +120,8 @@ func SolveResidual(g *hypergraph.Hypergraph, opts core.Options, carry []float64,
 	return run(g, opts, carry, cfg)
 }
 
-// peerConn is one coordinator-side connection. tr is the coordinator's
-// tracer (nil = disabled); sends and reads account their frames on it.
-type peerConn struct {
-	addr string
-	conn net.Conn
-	tr   telemetry.Tracer
-}
-
-// run partitions g, distributes the shares, relays the iteration exchanges
-// and assembles the merged result.
+// run validates and partitions the solve, then hands it to the concurrent
+// fan-out relay (the default) or the historical sequential relay.
 func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Config) (res *core.Result, err error) {
 	if len(cfg.Peers) == 0 {
 		return nil, ErrNoPeers
@@ -132,17 +140,21 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 	}
 	bounds := core.PlanPartitions(g, parts)
 	np := len(bounds) - 1
+	if np > maxChannels {
+		return nil, fmt.Errorf("%w: %d partitions exceed the %d-channel limit", core.ErrPartitionOptions, np, maxChannels)
+	}
 
 	traceID := cfg.TraceID
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
-	lg, tr := cfg.Logger, cfg.Tracer
+	lg := cfg.Logger
 	startT := time.Now()
 	if lg != nil {
 		lg.Info("cluster: solve start", "trace_id", traceID,
 			"partitions", np, "peers", len(cfg.Peers),
-			"vertices", g.NumVertices(), "edges", g.NumEdges(), "warm", carry != nil)
+			"vertices", g.NumVertices(), "edges", g.NumEdges(), "warm", carry != nil,
+			"sequential", cfg.SequentialRelay)
 		defer func() {
 			if err != nil {
 				lg.Warn("cluster: solve failed", "trace_id", traceID,
@@ -155,15 +167,144 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		}()
 	}
 
-	// Content-addressed setup: only the canonical hash is computed up
-	// front. The instance JSON is marshaled lazily — once, on the first
-	// peer whose cache misses — and shared across all missing peers, so a
-	// fully warm fleet never pays the serialization at all.
-	hash := g.Hash()
-	var instJSON []byte
+	if cfg.SequentialRelay {
+		return runSequential(g, opts, carry, cfg, bounds, traceID)
+	}
+	return runFanOut(g, opts, carry, cfg, bounds, traceID)
+}
 
+// sendJSONFrame marshals v and sends it as one frame of type ft on rw.
+func sendJSONFrame(rw frameRW, ft byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return rw.sendFrame(ft, payload)
+}
+
+// expectFrame reads one frame from rw, translating transport failures into
+// ErrPeerLost and peer-reported error frames into ErrPeerFailed; the frame
+// must be one of the wanted types. It is the coordinator's single
+// read-and-translate helper (the former expect/expectOneOf near-duplicate
+// pair folded into one).
+func expectFrame(rw frameRW, addr string, wants ...byte) ([]byte, byte, error) {
+	ft, payload, err := rw.recvFrame()
+	if err != nil {
+		return nil, 0, lost(addr, "read", err)
+	}
+	if ft == ftError {
+		var ef errorFrame
+		if err := json.Unmarshal(payload, &ef); err != nil {
+			return nil, 0, protocolErr(addr, fmt.Errorf("%w: error frame: %v", ErrBadFrame, err))
+		}
+		return nil, 0, fmt.Errorf("%w: %s: %s", ErrPeerFailed, addr, ef.Message)
+	}
+	for _, want := range wants {
+		if ft == want {
+			return payload, ft, nil
+		}
+	}
+	names := make([]string, len(wants))
+	for i, want := range wants {
+		names[i] = frameName(want)
+	}
+	return nil, 0, protocolErr(addr, fmt.Errorf("%w: expected %s, got %s", ErrBadFrame, strings.Join(names, " or "), frameName(ft)))
+}
+
+// dialNegotiate opens one coordinator-side connection: dial, hello, parse
+// the peer's hello and compute the negotiated protocol version (capped at
+// maxVer).
+func dialNegotiate(addr string, d time.Duration, tr telemetry.Tracer, maxVer int, traceID string) (net.Conn, int, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, 0, lost(addr, "dial", err)
+	}
+	// The handshake itself is always plain v2 framing; only frames after
+	// both hellos switch to the negotiated version.
+	rw := &connRW{conn: conn, d: d, tr: tr, peer: addr}
+	if err := sendJSONFrame(rw, ftHello, makeHello(maxVer, traceID)); err != nil {
+		conn.Close()
+		return nil, 0, lost(addr, "hello", err)
+	}
+	payload, _, err := expectFrame(rw, addr, ftHello)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	reply, err := parseHello(payload)
+	if err != nil {
+		conn.Close()
+		return nil, 0, protocolErr(addr, err)
+	}
+	return conn, effectiveVersion(maxVer, reply), nil
+}
+
+// setupPartition runs the content-addressed setup handshake for one
+// partition on rw: send the setup frame, read the hashok/hashmiss answer
+// and re-sync the instance JSON on a miss. marshal returns the shared
+// instance JSON (computed lazily, once per solve, however many peers
+// miss). It reports whether the peer's cache held the instance.
+func setupPartition(rw frameRW, addr string, sf setupFrame, marshal func() ([]byte, error)) (bool, error) {
+	if err := sendJSONFrame(rw, ftSetup, sf); err != nil {
+		return false, lost(addr, "setup", err)
+	}
+	ack, ft, err := expectFrame(rw, addr, ftHashOK, ftHashMiss)
+	if err != nil {
+		return false, err
+	}
+	if string(ack) != sf.Hash {
+		return false, protocolErr(addr, fmt.Errorf("%w: hash ack %q for setup %q", ErrBadFrame, ack, sf.Hash))
+	}
+	if ft == ftHashOK {
+		return true, nil
+	}
+	instJSON, err := marshal()
+	if err != nil {
+		return false, err
+	}
+	if err := rw.sendFrame(ftInstance, instJSON); err != nil {
+		return false, lost(addr, "instance re-sync", err)
+	}
+	return false, nil
+}
+
+// instanceMarshaler returns the lazy shared-marshal closure setupPartition
+// uses: the instance JSON is produced at most once per solve, on the first
+// cache miss, and is safe to request from concurrent relay goroutines.
+func instanceMarshaler(g *hypergraph.Hypergraph) func() ([]byte, error) {
+	var (
+		once sync.Once
+		data []byte
+		err  error
+	)
+	return func() ([]byte, error) {
+		once.Do(func() {
+			data, err = json.Marshal(g)
+			if err != nil {
+				err = fmt.Errorf("cluster: encode instance: %w", err)
+			}
+		})
+		return data, err
+	}
+}
+
+// runSequential is the historical relay: per-partition v2 connections set
+// up one after another, then one boundary and one coverage exchange per
+// iteration walked peer by peer on this goroutine. Kept as the measured
+// baseline for the fan-out relay and as plain-v2 wire coverage.
+func runSequential(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Config, bounds []int, traceID string) (*core.Result, error) {
+	np := len(bounds) - 1
+	lg, tr := cfg.Logger, cfg.Tracer
+	hash := g.Hash()
+	marshal := instanceMarshaler(g)
 	d := cfg.timeout()
-	conns := make([]*peerConn, 0, np)
+
+	type seqConn struct {
+		addr string
+		conn net.Conn
+		rw   frameRW
+	}
+	conns := make([]*seqConn, 0, np)
 	defer func() {
 		for _, pc := range conns {
 			pc.conn.Close()
@@ -171,51 +312,24 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 	}()
 	for p := 0; p < np; p++ {
 		addr := cfg.Peers[p%len(cfg.Peers)]
-		conn, err := net.DialTimeout("tcp", addr, d)
-		if err != nil {
-			return nil, lost(addr, "dial", err)
-		}
-		pc := &peerConn{addr: addr, conn: conn, tr: tr}
-		conns = append(conns, pc)
-		if err := pc.sendJSON(d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion, TraceID: traceID}); err != nil {
-			return nil, lost(addr, "hello", err)
-		}
-		payload, err := pc.expect(ftHello, d)
+		// The sequential relay predates multiplexing; it always speaks
+		// plain v2, one connection per partition.
+		conn, _, err := dialNegotiate(addr, d, tr, protoVersion, traceID)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := parseHello(payload); err != nil {
-			return nil, protocolErr(addr, err)
-		}
-		if err := pc.sendJSON(d, ftSetup, setupFrame{
+		pc := &seqConn{addr: addr, conn: conn, rw: &connRW{conn: conn, d: d, tr: tr, peer: addr}}
+		conns = append(conns, pc)
+		hit, err := setupPartition(pc.rw, addr, setupFrame{
 			Hash:    hash,
 			Carry:   carry,
 			Options: toSetupOptions(opts),
 			Bounds:  bounds,
 			Part:    p,
 			TraceID: traceID,
-		}); err != nil {
-			return nil, lost(addr, "setup", err)
-		}
-		// The peer answers hashok (cached — proceed straight to the
-		// exchange loop) or hashmiss (send the ftInstance re-sync frame).
-		ack, ft, err := pc.expectOneOf(d, ftHashOK, ftHashMiss)
+		}, marshal)
 		if err != nil {
 			return nil, err
-		}
-		if string(ack) != hash {
-			return nil, protocolErr(addr, fmt.Errorf("%w: hash ack %q for setup %q", ErrBadFrame, ack, hash))
-		}
-		hit := ft == ftHashOK
-		if !hit {
-			if instJSON == nil {
-				if instJSON, err = json.Marshal(g); err != nil {
-					return nil, fmt.Errorf("cluster: encode instance: %w", err)
-				}
-			}
-			if err := pc.send(d, ftInstance, instJSON); err != nil {
-				return nil, lost(addr, "instance re-sync", err)
-			}
 		}
 		if lg != nil {
 			lg.Debug("cluster: partition dispatched", "trace_id", traceID,
@@ -239,7 +353,7 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 			if tr != nil {
 				waitT = time.Now()
 			}
-			payload, err := pc.expect(ftBoundary, d)
+			payload, _, err := expectFrame(pc.rw, pc.addr, ftBoundary)
 			if err != nil {
 				return nil, err
 			}
@@ -260,7 +374,7 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		}
 		combined = encodeCombinedBoundary(combined, iteration, payloads)
 		for _, pc := range conns {
-			if err := pc.send(d, ftAllB, combined); err != nil {
+			if err := pc.rw.sendFrame(ftAllB, combined); err != nil {
 				return nil, lost(pc.addr, "combined boundary", err)
 			}
 		}
@@ -270,7 +384,7 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 			if tr != nil {
 				waitT = time.Now()
 			}
-			payload, err := pc.expect(ftCoverage, d)
+			payload, _, err := expectFrame(pc.rw, pc.addr, ftCoverage)
 			if err != nil {
 				return nil, err
 			}
@@ -292,7 +406,7 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		var cbuf []byte
 		cbuf = encodeCoverage(cbuf, iteration, total)
 		for _, pc := range conns {
-			if err := pc.send(d, ftAllC, cbuf); err != nil {
+			if err := pc.rw.sendFrame(ftAllC, cbuf); err != nil {
 				return nil, lost(pc.addr, "combined coverage", err)
 			}
 		}
@@ -301,7 +415,7 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 
 	partials := make([]*core.PartialResult, np)
 	for i, pc := range conns {
-		payload, err := pc.expect(ftResult, d)
+		payload, _, err := expectFrame(pc.rw, pc.addr, ftResult)
 		if err != nil {
 			return nil, err
 		}
@@ -311,86 +425,21 @@ func run(g *hypergraph.Hypergraph, opts core.Options, carry []float64, cfg Confi
 		}
 		partials[i] = frameToPartial(fr)
 	}
-	res, err = core.AssembleParts(g, opts, partials)
+	res, err := core.AssembleParts(g, opts, partials)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: assemble: %w", err)
 	}
 	return res, nil
 }
 
-// send writes one frame to the peer, accounting it on the tracer.
-func (pc *peerConn) send(d time.Duration, ft byte, payload []byte) error {
-	if err := writeFrameTimeout(pc.conn, d, ft, payload); err != nil {
-		return err
-	}
-	if pc.tr != nil {
-		pc.tr.Frame(pc.addr, telemetry.DirSent, frameName(ft), frameWireBytes(len(payload)))
-	}
-	return nil
-}
-
-// sendJSON marshals v and sends it as one frame of type ft.
-func (pc *peerConn) sendJSON(d time.Duration, ft byte, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	return pc.send(d, ft, payload)
-}
-
-// expect reads one frame of the wanted type from the peer, translating
-// transport failures into ErrPeerLost and peer-reported error frames into
-// ErrPeerFailed.
-func (pc *peerConn) expect(want byte, d time.Duration) ([]byte, error) {
-	ft, payload, err := readFrameTimeout(pc.conn, d)
-	if err != nil {
-		return nil, lost(pc.addr, "read", err)
-	}
-	if pc.tr != nil {
-		pc.tr.Frame(pc.addr, telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
-	}
-	if ft == ftError {
-		var ef errorFrame
-		if err := json.Unmarshal(payload, &ef); err != nil {
-			return nil, protocolErr(pc.addr, fmt.Errorf("%w: error frame: %v", ErrBadFrame, err))
-		}
-		return nil, fmt.Errorf("%w: %s: %s", ErrPeerFailed, pc.addr, ef.Message)
-	}
-	if ft != want {
-		return nil, protocolErr(pc.addr, fmt.Errorf("%w: expected type %d, got %d", ErrBadFrame, want, ft))
-	}
-	return payload, nil
-}
-
-// expectOneOf reads one frame that must be one of the two wanted types,
-// with the same transport/error-frame translation as expect.
-func (pc *peerConn) expectOneOf(d time.Duration, wantA, wantB byte) ([]byte, byte, error) {
-	ft, payload, err := readFrameTimeout(pc.conn, d)
-	if err != nil {
-		return nil, 0, lost(pc.addr, "read", err)
-	}
-	if pc.tr != nil {
-		pc.tr.Frame(pc.addr, telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
-	}
-	if ft == ftError {
-		var ef errorFrame
-		if err := json.Unmarshal(payload, &ef); err != nil {
-			return nil, 0, protocolErr(pc.addr, fmt.Errorf("%w: error frame: %v", ErrBadFrame, err))
-		}
-		return nil, 0, fmt.Errorf("%w: %s: %s", ErrPeerFailed, pc.addr, ef.Message)
-	}
-	if ft != wantA && ft != wantB {
-		return nil, 0, protocolErr(pc.addr, fmt.Errorf("%w: expected type %d or %d, got %d", ErrBadFrame, wantA, wantB, ft))
-	}
-	return payload, ft, nil
-}
-
 // Invalidate asks every peer in cfg.Peers to drop the cached instance with
 // the given content hash. Content-addressed entries are immutable, so this
 // is capacity and teardown management (a deleted session's base instance,
 // say), never a correctness requirement — a peer that is down simply keeps
-// nothing, and a peer that never cached the hash acks all the same. All
-// peers are attempted; the first error (if any) is returned.
+// nothing, and a peer that never cached the hash acks all the same. The
+// per-peer round trips run concurrently (a fleet invalidation costs one
+// timeout, not one per peer); every peer is attempted and the first error
+// by peer order (if any) is returned.
 func Invalidate(hash string, cfg Config) error {
 	if len(cfg.Peers) == 0 {
 		return ErrNoPeers
@@ -399,10 +448,21 @@ func Invalidate(hash string, cfg Config) error {
 		return errors.New("cluster: invalidate: empty hash")
 	}
 	d := cfg.timeout()
+	errs := make([]error, len(cfg.Peers))
+	var wg sync.WaitGroup
+	for i, addr := range cfg.Peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			errs[i] = invalidateOne(addr, hash, d, cfg.Tracer, clampMaxProtocol(cfg.MaxProtocol))
+		}(i, addr)
+	}
+	wg.Wait()
 	var firstErr error
-	for _, addr := range cfg.Peers {
-		if err := invalidateOne(addr, hash, d, cfg.Tracer); err != nil && firstErr == nil {
+	for _, err := range errs {
+		if err != nil {
 			firstErr = err
+			break
 		}
 	}
 	if cfg.Logger != nil {
@@ -413,28 +473,29 @@ func Invalidate(hash string, cfg Config) error {
 }
 
 // invalidateOne runs the hello handshake and one invalidate/ack round trip
-// against a single peer.
-func invalidateOne(addr, hash string, d time.Duration, tr telemetry.Tracer) error {
-	conn, err := net.DialTimeout("tcp", addr, d)
-	if err != nil {
-		return lost(addr, "dial", err)
-	}
-	defer conn.Close()
-	pc := &peerConn{addr: addr, conn: conn, tr: tr}
-	if err := pc.sendJSON(d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion}); err != nil {
-		return lost(addr, "hello", err)
-	}
-	payload, err := pc.expect(ftHello, d)
+// against a single peer. Under a negotiated v3 connection the round trip
+// rides on channel 0.
+func invalidateOne(addr, hash string, d time.Duration, tr telemetry.Tracer, maxVer int) error {
+	conn, ver, err := dialNegotiate(addr, d, tr, maxVer, "")
 	if err != nil {
 		return err
 	}
-	if _, err := parseHello(payload); err != nil {
-		return protocolErr(addr, err)
+	defer conn.Close()
+	var rw frameRW
+	if ver >= 3 {
+		m := newMux(conn, d, tr, addr)
+		rw = m.channel(0)
+		go m.readLoop()
+		// Tear the reader down before returning (close unblocks it), so a
+		// completed invalidation leaves no goroutine behind.
+		defer func() { conn.Close(); <-m.done }()
+	} else {
+		rw = &connRW{conn: conn, d: d, tr: tr, peer: addr}
 	}
-	if err := pc.send(d, ftInvalidate, []byte(hash)); err != nil {
+	if err := rw.sendFrame(ftInvalidate, []byte(hash)); err != nil {
 		return lost(addr, "invalidate", err)
 	}
-	ack, err := pc.expect(ftHashOK, d)
+	ack, _, err := expectFrame(rw, addr, ftHashOK)
 	if err != nil {
 		return err
 	}

@@ -49,12 +49,66 @@ const (
 // Magic and version of the handshake. Version 2 made the setup frame
 // content-addressed: it carries the instance hash and the peer answers
 // hashok/hashmiss before the solve proceeds (see docs/PROTOCOL.md).
-// parseHello requires an exact version match, so v1 and v2 processes
-// refuse each other at the handshake instead of misparsing setups.
+// parseHello requires an exact version match on the baseline `version`
+// field, so v1 and v2 processes refuse each other at the handshake
+// instead of misparsing setups.
+//
+// Version 3 multiplexes partitions over one connection: after the hello
+// exchange every frame header gains a u16 big-endian channel id (the
+// global partition index), so a peer process runs many RunPartition
+// goroutines behind a single socket. v3 is negotiated additively: the
+// hello keeps `version: 2` on the wire and announces `max_version: 3`;
+// the effective version of a connection is the minimum of both sides'
+// announced maxima, so a v2-only process (which never sends max_version
+// and ignores the unknown field) keeps speaking plain v2 frames.
 const (
-	protoMagic   = "distcover-cluster"
-	protoVersion = 2
+	protoMagic      = "distcover-cluster"
+	protoVersion    = 2
+	protoMaxVersion = 3
 )
+
+// clampMaxProtocol normalizes a user-facing MaxProtocol knob (0 means
+// "newest this build speaks") into [protoVersion, protoMaxVersion].
+func clampMaxProtocol(v int) int {
+	if v <= 0 || v > protoMaxVersion {
+		return protoMaxVersion
+	}
+	if v < protoVersion {
+		return protoVersion
+	}
+	return v
+}
+
+// announcedMax is the highest protocol version a hello claims: its
+// baseline version, raised by the additive max_version field when present.
+func announcedMax(h helloFrame) int {
+	if h.MaxVersion > h.Version {
+		return h.MaxVersion
+	}
+	return h.Version
+}
+
+// effectiveVersion negotiates the protocol for a connection: the minimum
+// of our own maximum and the remote hello's announced maximum. Both sides
+// compute the same value because both see both maxima.
+func effectiveVersion(ourMax int, remote helloFrame) int {
+	theirs := announcedMax(remote)
+	if ourMax < theirs {
+		return ourMax
+	}
+	return theirs
+}
+
+// makeHello builds the hello this process sends for a connection capped at
+// maxVer. The baseline version stays 2 for wire compatibility; max_version
+// is announced only when the cap allows something newer.
+func makeHello(maxVer int, traceID string) helloFrame {
+	h := helloFrame{Magic: protoMagic, Version: protoVersion, TraceID: traceID}
+	if maxVer > protoVersion {
+		h.MaxVersion = maxVer
+	}
+	return h
+}
 
 // frameName maps a frame type to the label telemetry and logs use.
 func frameName(ft byte) string {
@@ -87,9 +141,15 @@ func frameName(ft byte) string {
 	return "unknown"
 }
 
-// frameWireBytes is the full on-wire size of a frame with the given
+// frameWireBytes is the full on-wire size of a v2 frame with the given
 // payload length (the 5-byte header plus payload).
 func frameWireBytes(payloadLen int) int { return payloadLen + 5 }
+
+// frameWireBytesV3 is the v3 equivalent: the header grows a u16 channel id.
+func frameWireBytesV3(payloadLen int) int { return payloadLen + 7 }
+
+// maxChannels bounds the v3 channel id space (the id is a u16).
+const maxChannels = 1 << 16
 
 // maxFrameBytes bounds a single frame; a corrupt length prefix must not
 // drive an allocation of gigabytes.
@@ -104,11 +164,15 @@ var (
 // helloFrame opens a connection in both directions. TraceID correlates
 // one cluster solve across coordinator and peer logs; it is additive
 // (omitted when empty), so version 1 peers and coordinators interoperate
-// regardless of which side sends it.
+// regardless of which side sends it. MaxVersion is likewise additive: a
+// process that can speak multiplexed v3 frames announces max_version: 3
+// while keeping version: 2, and the connection runs at the minimum of
+// both sides' announced maxima (see effectiveVersion).
 type helloFrame struct {
-	Magic   string `json:"magic"`
-	Version int    `json:"version"`
-	TraceID string `json:"trace_id,omitempty"`
+	Magic      string `json:"magic"`
+	Version    int    `json:"version"`
+	MaxVersion int    `json:"max_version,omitempty"`
+	TraceID    string `json:"trace_id,omitempty"`
 }
 
 // setupOptions is the JSON form of the core.Options subset a cluster solve
@@ -246,6 +310,51 @@ func writeJSONFrame(w io.Writer, ft byte, v any) error {
 		return err
 	}
 	return writeFrame(w, ft, payload)
+}
+
+// writeFrameV3 emits one multiplexed frame:
+//
+//	u32 big-endian payload length | u8 frame type | u16 big-endian channel | payload
+//
+// The channel id is the global partition index of the solve the frame
+// belongs to (channel 0 also carries invalidations, which are not tied to
+// a partition).
+func writeFrameV3(w io.Writer, ch uint16, ft byte, payload []byte) error {
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [7]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = ft
+	binary.BigEndian.PutUint16(hdr[5:7], ch)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrameV3 reads one multiplexed frame, enforcing the size limit
+// before allocating.
+func readFrameV3(r io.Reader) (ch uint16, ft byte, payload []byte, err error) {
+	var hdr [7]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size > maxFrameBytes {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	ft = hdr[4]
+	if ft == 0 || ft > maxFT {
+		return 0, 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, ft)
+	}
+	ch = binary.BigEndian.Uint16(hdr[5:7])
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return ch, ft, payload, nil
 }
 
 // encodeBoundary packs one partition's per-iteration boundary broadcast:

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"sync"
@@ -43,6 +44,10 @@ type Peer struct {
 	// instance cache retains (0 = DefaultInstanceCacheBudget). Must be set
 	// before the first connection is served.
 	InstanceCacheBudget int64
+	// MaxProtocol caps the protocol version this peer announces in its
+	// hello (0 = the newest this build speaks). Setting 2 disables
+	// multiplexing: every connection carries one partition, as before v3.
+	MaxProtocol int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -177,13 +182,13 @@ func (p *Peer) timeout() time.Duration {
 	return DefaultTimeout
 }
 
-// handle runs one connection: handshake, setup (content-addressed: hash
-// lookup, hashok/hashmiss answer, ftInstance re-sync on a miss),
-// partitioned solve with the connection as the Exchanger, result. A
-// connection may instead carry one ftInvalidate, dropping a cache entry.
-// Solver-level failures are reported to the coordinator as an error frame;
-// transport failures just drop the connection (the coordinator sees them
-// as ErrPeerLost).
+// handle runs one connection. The hello exchange negotiates the protocol
+// version; a v2 connection carries exactly one stream (one partition solve
+// or one invalidation), a v3 connection is demultiplexed into one stream
+// per channel so co-located partitions share the socket. Solver-level
+// failures are reported to the coordinator as an error frame; transport
+// failures just drop the connection (the coordinator sees them as
+// ErrPeerLost).
 func (p *Peer) handle(conn net.Conn) error {
 	d := p.timeout()
 	hello, err := expectHello(conn, d)
@@ -191,20 +196,71 @@ func (p *Peer) handle(conn net.Conn) error {
 		return err
 	}
 	// Echo the coordinator's trace id in the reply so either side's log
-	// carries it from the handshake on.
-	if err := writeJSONFrameTimeout(conn, d, ftHello, helloFrame{Magic: protoMagic, Version: protoVersion, TraceID: hello.TraceID}); err != nil {
+	// carries it from the handshake on; announce our own protocol maximum
+	// for the version negotiation.
+	myMax := clampMaxProtocol(p.MaxProtocol)
+	reply := makeHello(myMax, hello.TraceID)
+	if err := writeJSONFrameTimeout(conn, d, ftHello, reply); err != nil {
 		return err
 	}
-	ft, payload, err := readFrameTimeout(conn, d)
+	if effectiveVersion(myMax, hello) >= 3 {
+		return p.serveMux(conn, hello)
+	}
+	rw := &connRW{conn: conn, d: d, tr: p.Tracer}
+	ft, payload, err := rw.recvFrame()
 	if err != nil {
 		return err
 	}
+	return p.handleStream(rw, conn.LocalAddr().String(), hello, ft, payload)
+}
+
+// serveMux demultiplexes one v3 connection: the read loop runs on this
+// goroutine and spawns one handleStream goroutine per incoming channel
+// (its first frame must open a setup or invalidate conversation). The
+// connection is done when the read loop exits — coordinator closed it, a
+// deadline fired, or a protocol violation killed it — at which point every
+// stream's subscription is closed, the handlers drain, and serveMux
+// returns. A clean end-of-connection is not an error.
+func (p *Peer) serveMux(conn net.Conn, hello helloFrame) error {
+	m := newMux(conn, p.timeout(), p.Tracer, "")
+	peerAddr := conn.LocalAddr().String()
+	var wg sync.WaitGroup
+	m.onNew = func(ch uint16) chan muxMsg {
+		sub := make(chan muxMsg, muxSubDepth)
+		rw := &muxChanRW{m: m, ch: ch}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ft, payload, err := rw.recvFrame()
+			if err != nil {
+				return // connection already torn down
+			}
+			if err := p.handleStream(rw, peerAddr, hello, ft, payload); err != nil {
+				p.logWarn("cluster peer: channel failed",
+					"remote", conn.RemoteAddr().String(), "channel", ch, "err", err)
+			}
+		}()
+		return sub
+	}
+	m.readLoop()
+	wg.Wait()
+	if err := m.err(); err != nil && !isTransportErr(err) && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// handleStream runs one stream's conversation: an invalidation round trip,
+// or the content-addressed setup (hash lookup, hashok/hashmiss answer,
+// ftInstance re-sync on a miss) followed by the partitioned solve with the
+// stream as the Exchanger and the result frame.
+func (p *Peer) handleStream(rw frameRW, peerAddr string, hello helloFrame, ft byte, payload []byte) error {
 	if ft == ftInvalidate {
 		hash := string(payload)
 		dropped := p.instances().invalidate(hash)
 		p.logInfo("cluster peer: instance invalidated", "trace_id", hello.TraceID,
-			"peer_addr", conn.LocalAddr().String(), "hash", hash, "dropped", dropped)
-		return writeFrameTimeout(conn, d, ftHashOK, []byte(hash))
+			"peer_addr", peerAddr, "hash", hash, "dropped", dropped)
+		return rw.sendFrame(ftHashOK, []byte(hash))
 	}
 	if ft != ftSetup {
 		return fmt.Errorf("%w: expected setup, got type %d", ErrBadFrame, ft)
@@ -217,12 +273,11 @@ func (p *Peer) handle(conn net.Conn) error {
 	if traceID == "" {
 		traceID = hello.TraceID
 	}
-	g, hit, err := p.resolveInstance(conn, d, setup.Hash)
+	g, hit, err := p.resolveInstance(rw, setup.Hash)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	peerAddr := conn.LocalAddr().String()
 	p.logInfo("cluster peer: partition start", "trace_id", traceID,
 		"peer_addr", peerAddr, "part", setup.Part, "hash", setup.Hash, "cache_hit", hit,
 		"vertices", g.NumVertices(), "edges", g.NumEdges())
@@ -230,7 +285,7 @@ func (p *Peer) handle(conn net.Conn) error {
 	if p.Tracer != nil {
 		opts.Tracer = p.Tracer
 	}
-	ex := &connExchanger{conn: conn, timeout: d, tr: p.Tracer}
+	ex := &rwExchanger{rw: rw}
 	partial, err := core.RunPartition(g, opts, setup.Carry, setup.Bounds, setup.Part, ex)
 	if err != nil {
 		p.logWarn("cluster peer: partition failed", "trace_id", traceID,
@@ -239,12 +294,12 @@ func (p *Peer) handle(conn net.Conn) error {
 		if isTransportErr(err) {
 			return err
 		}
-		return sendError(conn, d, err)
+		return sendError(rw, err)
 	}
 	p.logInfo("cluster peer: partition done", "trace_id", traceID,
 		"peer_addr", peerAddr, "part", setup.Part,
 		"iterations", partial.Iterations, "elapsed", time.Since(start))
-	return writeJSONFrameTimeout(conn, d, ftResult, partialToFrame(partial))
+	return sendJSONFrame(rw, ftResult, partialToFrame(partial))
 }
 
 // resolveInstance turns a setup frame's content hash into a decoded
@@ -253,22 +308,22 @@ func (p *Peer) handle(conn net.Conn) error {
 // verifies the decoded instance really hashes to the requested key (a
 // poisoned entry would corrupt every later solve that hits it) and caches
 // it. The hit/miss is reported through the optional CacheTracer hook.
-func (p *Peer) resolveInstance(conn net.Conn, d time.Duration, hash string) (*hypergraph.Hypergraph, bool, error) {
+func (p *Peer) resolveInstance(rw frameRW, hash string) (*hypergraph.Hypergraph, bool, error) {
 	if hash == "" {
 		return nil, false, fmt.Errorf("%w: setup without instance hash", ErrBadFrame)
 	}
 	cache := p.instances()
 	if g, ok := cache.get(hash); ok {
 		p.traceCache(true, g.MemoryBytes())
-		if err := writeFrameTimeout(conn, d, ftHashOK, []byte(hash)); err != nil {
+		if err := rw.sendFrame(ftHashOK, []byte(hash)); err != nil {
 			return nil, false, err
 		}
 		return g, true, nil
 	}
-	if err := writeFrameTimeout(conn, d, ftHashMiss, []byte(hash)); err != nil {
+	if err := rw.sendFrame(ftHashMiss, []byte(hash)); err != nil {
 		return nil, false, err
 	}
-	ft, payload, err := readFrameTimeout(conn, d)
+	ft, payload, err := rw.recvFrame()
 	if err != nil {
 		return nil, false, err
 	}
@@ -277,10 +332,10 @@ func (p *Peer) resolveInstance(conn net.Conn, d time.Duration, hash string) (*hy
 	}
 	g := new(hypergraph.Hypergraph)
 	if err := g.UnmarshalJSON(payload); err != nil {
-		return nil, false, sendError(conn, d, fmt.Errorf("decode instance: %w", err))
+		return nil, false, sendError(rw, fmt.Errorf("decode instance: %w", err))
 	}
 	if got := g.Hash(); got != hash {
-		return nil, false, sendError(conn, d,
+		return nil, false, sendError(rw,
 			fmt.Errorf("instance hash mismatch: setup %s, content %s", hash, got))
 	}
 	p.traceCache(false, g.MemoryBytes())
@@ -298,8 +353,8 @@ func (p *Peer) traceCache(hit bool, bytes int64) {
 
 // sendError reports a solver-level failure as a frame; the original error
 // is returned for the peer's log.
-func sendError(conn net.Conn, d time.Duration, cause error) error {
-	if err := writeJSONFrameTimeout(conn, d, ftError, errorFrame{Message: cause.Error()}); err != nil {
+func sendError(rw frameRW, cause error) error {
+	if err := sendJSONFrame(rw, ftError, errorFrame{Message: cause.Error()}); err != nil {
 		return err
 	}
 	return cause
@@ -374,31 +429,23 @@ func writeJSONFrameTimeout(conn net.Conn, d time.Duration, ft byte, v any) error
 	return writeJSONFrame(conn, ft, v)
 }
 
-// connExchanger implements core.Exchanger over the peer's coordinator
-// connection: it publishes the local frame and blocks for the combined one.
-// tr, when set, accounts the wire frames with peer "" (the partition
-// runner's one peer is the coordinator).
-type connExchanger struct {
-	conn    net.Conn
-	timeout time.Duration
-	buf     []byte
-	tr      telemetry.Tracer
+// rwExchanger implements core.Exchanger over the peer's coordinator-facing
+// stream: it publishes the local frame and blocks for the combined one.
+// Frame accounting lives in the stream implementation, so the exchanger is
+// identical on plain and multiplexed connections.
+type rwExchanger struct {
+	rw  frameRW
+	buf []byte
 }
 
-func (e *connExchanger) ExchangeBoundary(iteration int, local core.BoundaryFrame) ([]core.BoundaryFrame, error) {
+func (e *rwExchanger) ExchangeBoundary(iteration int, local core.BoundaryFrame) ([]core.BoundaryFrame, error) {
 	e.buf = encodeBoundary(e.buf, iteration, local)
-	if err := writeFrameTimeout(e.conn, e.timeout, ftBoundary, e.buf); err != nil {
+	if err := e.rw.sendFrame(ftBoundary, e.buf); err != nil {
 		return nil, err
 	}
-	if e.tr != nil {
-		e.tr.Frame("", telemetry.DirSent, frameName(ftBoundary), frameWireBytes(len(e.buf)))
-	}
-	ft, payload, err := readFrameTimeout(e.conn, e.timeout)
+	ft, payload, err := e.rw.recvFrame()
 	if err != nil {
 		return nil, err
-	}
-	if e.tr != nil {
-		e.tr.Frame("", telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
 	}
 	if ft != ftAllB {
 		return nil, fmt.Errorf("%w: expected combined boundary, got type %d", ErrBadFrame, ft)
@@ -413,20 +460,14 @@ func (e *connExchanger) ExchangeBoundary(iteration int, local core.BoundaryFrame
 	return frames, nil
 }
 
-func (e *connExchanger) ExchangeCoverage(iteration, covered int) (int, error) {
+func (e *rwExchanger) ExchangeCoverage(iteration, covered int) (int, error) {
 	e.buf = encodeCoverage(e.buf, iteration, covered)
-	if err := writeFrameTimeout(e.conn, e.timeout, ftCoverage, e.buf); err != nil {
+	if err := e.rw.sendFrame(ftCoverage, e.buf); err != nil {
 		return 0, err
 	}
-	if e.tr != nil {
-		e.tr.Frame("", telemetry.DirSent, frameName(ftCoverage), frameWireBytes(len(e.buf)))
-	}
-	ft, payload, err := readFrameTimeout(e.conn, e.timeout)
+	ft, payload, err := e.rw.recvFrame()
 	if err != nil {
 		return 0, err
-	}
-	if e.tr != nil {
-		e.tr.Frame("", telemetry.DirReceived, frameName(ft), frameWireBytes(len(payload)))
 	}
 	if ft != ftAllC {
 		return 0, fmt.Errorf("%w: expected combined coverage, got type %d", ErrBadFrame, ft)

@@ -199,8 +199,14 @@ func WithClusterPeers(addrs ...string) Option {
 // WithClusterPartitions sets the number of contiguous vertex-range
 // partitions a cluster solve splits the instance into; n ≤ 0 or omitting
 // the option means one partition per peer. Partitions beyond the peer
-// count open additional connections round-robin. The result is identical
-// for every n — only placement changes.
+// count are assigned round-robin — peers that negotiate protocol v3 carry
+// all their partitions multiplexed over one connection. The result is
+// identical for every n — only placement changes.
+//
+// Without WithClusterPeers (or ClusterSolve peers), a positive n selects
+// the in-process partitioned engine: the same partition plan runs as
+// co-located goroutines over a shared-memory exchanger, no sockets
+// involved. Solve, NewSession and Session.Update all honor it.
 func WithClusterPartitions(n int) Option {
 	return optionFunc(func(c *solveConfig) { c.clusterParts = n })
 }

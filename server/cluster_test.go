@@ -91,6 +91,56 @@ func TestServerClusterEngine(t *testing.T) {
 	}
 }
 
+// TestServerClusterEngineLocalPartitions: a server without -peers still
+// serves the cluster engine when the request carries a partition count —
+// the partitions run in-process over the shared-memory exchanger — and the
+// results match the simulator bit for bit.
+func TestServerClusterEngineLocalPartitions(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Workers: 2, QueueDepth: 16})
+	ctx := context.Background()
+	inst := genInstance(t, 80, 240, 3, 424)
+
+	simRes, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locRes, err := c.Solve(ctx, inst, api.SolveOptions{Epsilon: 0.5, Engine: api.EngineCluster, Partitions: 3, NoCache: true})
+	if err != nil {
+		t.Fatalf("local-partition cluster solve: %v", err)
+	}
+	if !reflect.DeepEqual(locRes.Cover, simRes.Cover) || locRes.Weight != simRes.Weight ||
+		locRes.DualLowerBound != simRes.DualLowerBound || locRes.Iterations != simRes.Iterations {
+		t.Fatalf("local-partition result diverges from sim:\n%+v\nvs\n%+v", locRes, simRes)
+	}
+
+	// Sessions take the same path: a peerless cluster session with a
+	// partition count solves in process and matches the sim session.
+	si, err := c.CreateSession(ctx, inst, api.SolveOptions{Engine: api.EngineCluster, Partitions: 2})
+	if err != nil {
+		t.Fatalf("local-partition cluster session: %v", err)
+	}
+	refSi, err := c.CreateSession(ctx, inst, api.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := api.SessionDelta{
+		Weights: []int64{3, 4},
+		Edges:   [][]int{{80, 81}, {0, 80}, {5, 81}},
+	}
+	up, err := c.UpdateSession(ctx, si.ID, delta)
+	if err != nil {
+		t.Fatalf("local-partition session update: %v", err)
+	}
+	refUp, err := c.UpdateSession(ctx, refSi.ID, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(up.Session.Result.Cover, refUp.Session.Result.Cover) ||
+		up.Session.Result.DualLowerBound != refUp.Session.Result.DualLowerBound {
+		t.Fatal("local-partition session diverges from sim session after update")
+	}
+}
+
 // TestServerClusterEngineRequiresPeers: a server without -peers rejects the
 // engine with a client-visible error, for solves and sessions both.
 func TestServerClusterEngineRequiresPeers(t *testing.T) {

@@ -222,11 +222,15 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 
 // buildJob validates a SolveRequest and turns it into a queueable job.
 func (s *Server) buildJob(req api.SolveRequest) (*job, error) {
-	// Reject the cluster engine on a peerless server up front: it shares
-	// the simulator's cache identity, so deferring the check to the worker
-	// would let a warm cache serve what configuration says must fail.
-	if req.Options.Engine == api.EngineCluster && len(s.cfg.ClusterPeers) == 0 {
-		return nil, fmt.Errorf("coverd: engine %q requires a server started with -peers", api.EngineCluster)
+	// Reject an unservable cluster request up front: it shares the
+	// simulator's cache identity, so deferring the check to the worker
+	// would let a warm cache serve what configuration says must fail. A
+	// peerless server can still serve the engine when a partition count is
+	// available (request or -partitions) — that is the in-process
+	// shared-memory mode.
+	if req.Options.Engine == api.EngineCluster && len(s.cfg.ClusterPeers) == 0 &&
+		req.Options.Partitions <= 0 && s.cfg.ClusterPartitions <= 0 {
+		return nil, fmt.Errorf("coverd: engine %q requires a server started with -peers, or a partition count for the local shared-memory mode", api.EngineCluster)
 	}
 	switch {
 	case len(req.Instance) > 0 && req.ILP != nil:

@@ -33,14 +33,20 @@ type clusterSettings struct {
 }
 
 // options maps the settings plus a request's partition choice onto the
-// library options, rejecting cluster requests on a server without peers.
+// library options. Without -peers the cluster engine still works when a
+// partition count is available (from the request or -partition): the
+// partitions run in-process over the shared-memory exchanger instead of
+// TCP peers.
 func (c clusterSettings) options(o api.SolveOptions) ([]distcover.Option, error) {
-	if len(c.peers) == 0 {
-		return nil, fmt.Errorf("coverd: engine %q requires a server started with -peers", api.EngineCluster)
-	}
 	parts := o.Partitions
 	if parts == 0 {
 		parts = c.partitions
+	}
+	if len(c.peers) == 0 {
+		if parts <= 0 {
+			return nil, fmt.Errorf("coverd: engine %q requires a server started with -peers, or a partition count for the local shared-memory mode", api.EngineCluster)
+		}
+		return []distcover.Option{distcover.WithClusterPartitions(parts)}, nil
 	}
 	return []distcover.Option{
 		distcover.WithClusterPeers(c.peers...),

@@ -115,7 +115,7 @@ func NewSession(inst *Instance, opts ...Option) (*Session, error) {
 	var res *core.Result
 	var err error
 	switch {
-	case len(cfg.clusterPeers) > 0:
+	case len(cfg.clusterPeers) > 0 || cfg.clusterParts > 0:
 		res, err = clusterRun(s.g, cfg, nil)
 	case cfg.congest:
 		stop := s.cfg.startSpan(cfg.congestEngineName())
@@ -235,10 +235,11 @@ func (s *Session) Update(d Delta) (*UpdateStats, error) {
 				}
 			}
 			switch {
-			case len(s.cfg.clusterPeers) > 0:
+			case len(s.cfg.clusterPeers) > 0 || s.cfg.clusterParts > 0:
 				// The residual instance plus carried loads is exactly the
 				// compact session delta the peers receive; the full base
-				// instance never re-crosses the wire.
+				// instance never re-crosses the wire (and with no peers the
+				// partitions run in-process over shared memory).
 				res, err = clusterRun(rg, s.cfg, carry)
 			case s.cfg.congest:
 				// The CONGEST bit budget is a property of the whole system,
