@@ -1,12 +1,12 @@
 // Command benchharness regenerates the paper's evaluation artifacts: the
 // measured versions of Table 1 and Table 2 and the theorem-shape
-// experiments E1–E16 (run with -list for the index).
+// experiments E1–E17 (run with -list for the index).
 //
 // Usage:
 //
-//	benchharness [-exp all|T1|T2|E1..E16] [-quick] [-seed N] [-list]
+//	benchharness [-exp all|T1|T2|E1..E17] [-quick] [-seed N] [-list]
 //	             [-json file] [-baseline file] [-writebaseline file]
-//	             [-tol frac] [-portable] [-suite names]
+//	             [-tol frac] [-portable] [-suite names] [-workers list]
 //	             [-cpuprofile file] [-memprofile file] [-trace]
 //
 // Full sweeps take a few minutes; -quick shrinks them to seconds. With
@@ -47,6 +47,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"distcover/internal/bench"
@@ -107,7 +108,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E16)")
+		exp        = flag.String("exp", "all", "experiment id (all, T1, T2, E1..E17)")
 		quick      = flag.Bool("quick", false, "shrink sweeps to smoke-test scale")
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -116,7 +117,8 @@ func run() error {
 		writeBase  = flag.String("writebaseline", "", "measure engine throughput and merge the readings into this baseline file")
 		tol        = flag.Float64("tol", 0, "regression tolerance as a fraction; >0 overrides the baseline's default and per-entry tolerances (0 = use them)")
 		portable   = flag.Bool("portable", false, "with -baseline: compare only machine-independent readings (rounds, messages, iteration counts, speedup ratios, alloc counts), skipping raw ns — for CI runners whose hardware differs from the baseline machine")
-		suites     = flag.String("suite", "engines,flat,sessions,cluster,allocs,fabric,relay", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, cluster = E14 multi-process, allocs = hot-path allocation counts, fabric = E15 instance fabric + WAL overhead, relay = E16 fan-out vs sequential relay)")
+		suites     = flag.String("suite", "engines,flat,sessions,cluster,allocs,fabric,relay,scaling", "with -baseline/-writebaseline: comma-separated measurement suites to run (engines = E11 throughput, flat = E13 direct solver, sessions = E12 incremental, cluster = E14 multi-process, allocs = hot-path allocation counts, fabric = E15 instance fabric + WAL overhead, relay = E16 fan-out vs sequential relay, scaling = E17 flat worker sweep)")
+		workersArg = flag.String("workers", "", "worker-count sweep for the scaling suite / E17, comma-separated (default 1,2,4,8)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured work to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 		traceRun   = flag.Bool("trace", false, "run one flat solve of the alloc-gate fixture with telemetry attached and print its trace report as JSON")
@@ -150,6 +152,19 @@ func run() error {
 	}
 	defer stopProfiles()
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	if *workersArg != "" {
+		for _, part := range strings.Split(*workersArg, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			w, err := strconv.Atoi(part)
+			if err != nil || w < 1 {
+				return fmt.Errorf("-workers: bad worker count %q", part)
+			}
+			cfg.Workers = append(cfg.Workers, w)
+		}
+	}
 	if *baseline != "" || *writeBase != "" {
 		// Baseline mode runs the measurement suites only; -exp does not
 		// apply (run the command again without -baseline for other tables).
@@ -223,6 +238,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 		"allocs":   sessions.MeasureAllocs,
 		"fabric":   sessions.MeasureFabric,
 		"relay":    sessions.MeasureRelay,
+		"scaling":  bench.MeasureScaling,
 	}
 	var selected []suite
 	for _, name := range strings.Split(suites, ",") {
@@ -232,7 +248,7 @@ func runBaseline(cfg bench.Config, comparePath, writePath, jsonPath string, tol 
 		}
 		run, ok := known[name]
 		if !ok {
-			return fmt.Errorf("-suite: unknown suite %q (have engines, flat, sessions, cluster, allocs, fabric, relay)", name)
+			return fmt.Errorf("-suite: unknown suite %q (have engines, flat, sessions, cluster, allocs, fabric, relay, scaling)", name)
 		}
 		selected = append(selected, suite{name: name, run: run})
 	}

@@ -3,6 +3,7 @@ package distcover
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"distcover/internal/congest"
@@ -102,11 +103,13 @@ func randomEquivalenceInstance(t *testing.T, rng *rand.Rand, i int) *hypergraph.
 }
 
 // TestEngineEquivalenceOnCoverProtocol is the cross-engine differential
-// property test: on 50 random weighted instances the sequential, parallel
-// and sharded engines must produce identical covers, identical
-// metrics.Rounds, and identical message-bit accounting — and the flat
-// chunk-parallel solver must match them bit for bit (covers, duals,
-// iterations) at several worker counts.
+// property test: on 50 random weighted instances (including f>2 and
+// ILP-reduction shapes) the sequential, parallel and sharded engines must
+// produce identical covers, identical metrics.Rounds, and identical
+// message-bit accounting — and the flat chunk-parallel solver must match
+// them bit for bit (covers, duals, iterations) at every worker count from
+// 1 to 8 with invariant checking on, both cold and warm-started from a
+// random carried load (the Session residual path).
 func TestEngineEquivalenceOnCoverProtocol(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
 	opts := core.DefaultOptions()
@@ -116,8 +119,18 @@ func TestEngineEquivalenceOnCoverProtocol(t *testing.T) {
 		if err != nil {
 			t.Fatalf("instance %d: sequential: %v", i, err)
 		}
-		for _, workers := range []int{1, 4} {
-			flat, err := core.RunFlat(g, opts, workers)
+		flatOpts := opts
+		flatOpts.CheckInvariants = true
+		carry := make([]float64, g.NumVertices())
+		for v := range carry {
+			carry[v] = rng.Float64() * 0.9 * float64(g.Weight(hypergraph.VertexID(v)))
+		}
+		refResidual, err := core.RunResidual(g, flatOpts, carry)
+		if err != nil {
+			t.Fatalf("instance %d: sequential residual: %v", i, err)
+		}
+		for workers := 1; workers <= 8; workers++ {
+			flat, err := core.RunFlat(g, flatOpts, workers)
 			if err != nil {
 				t.Fatalf("instance %d: flat/%d: %v", i, workers, err)
 			}
@@ -125,6 +138,15 @@ func TestEngineEquivalenceOnCoverProtocol(t *testing.T) {
 				!reflect.DeepEqual(flat.Dual, refRes.Dual) ||
 				flat.Iterations != refRes.Iterations {
 				t.Errorf("instance %d: flat/%d diverges from the protocol engines", i, workers)
+			}
+			warm, err := core.RunResidualFlat(g, flatOpts, carry, workers)
+			if err != nil {
+				t.Fatalf("instance %d: flat residual/%d: %v", i, workers, err)
+			}
+			if !reflect.DeepEqual(warm.Cover, refResidual.Cover) ||
+				!reflect.DeepEqual(warm.Dual, refResidual.Dual) ||
+				warm.Iterations != refResidual.Iterations {
+				t.Errorf("instance %d: flat residual/%d diverges from sequential residual", i, workers)
 			}
 		}
 		for name, eng := range equivalenceEngines() {
@@ -251,6 +273,69 @@ func TestSessionReplayAcrossEngines(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSessionPooledArenaNoStateBleed is the regression test for the
+// pooled solver scaffolding: arenas recycled through the sync.Pool across
+// Session.Update calls must be fully reset, so a session's residual
+// solves are bit-identical no matter which other solves dirtied and
+// returned arenas in between. Pass 1 replays a delta sequence on a quiet
+// process; pass 2 replays the identical sequence while concurrent flat
+// solves of unrelated larger and smaller instances churn the pool between
+// updates (under -race in CI this also exercises pool thread-safety).
+// Any state bleeding through a recycled arena diverges the solutions.
+func TestSessionPooledArenaNoStateBleed(t *testing.T) {
+	rng := rand.New(rand.NewSource(991199))
+	base := randomEquivalenceInstance(t, rng, 1)
+	var deltas []Delta
+	n := base.NumVertices()
+	for b := 0; b < 6; b++ {
+		var d Delta
+		d, n = randomDelta(rng, n)
+		deltas = append(deltas, d)
+	}
+	churn := []*Instance{
+		{g: randomEquivalenceInstance(t, rng, 2)},
+		{g: randomEquivalenceInstance(t, rng, 4)},
+		{g: randomEquivalenceInstance(t, rng, 0)},
+	}
+
+	replay := func(dirtyPool bool) []*Solution {
+		t.Helper()
+		s, err := NewSession(&Instance{g: base}, WithFlatEngine(), WithSolverParallelism(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*Solution
+		for _, d := range deltas {
+			if dirtyPool {
+				var wg sync.WaitGroup
+				for w := 1; w <= 3; w++ {
+					for _, ci := range churn {
+						wg.Add(1)
+						go func(ci *Instance, w int) {
+							defer wg.Done()
+							if _, err := Solve(ci, WithFlatEngine(), WithSolverParallelism(w)); err != nil {
+								panic(err)
+							}
+						}(ci, w)
+					}
+				}
+				wg.Wait()
+			}
+			if _, err := s.Update(d); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, s.Solution())
+		}
+		return out
+	}
+
+	clean := replay(false)
+	churned := replay(true)
+	if !reflect.DeepEqual(clean, churned) {
+		t.Fatalf("pooled arenas bleed state across updates:\nclean:   %+v\nchurned: %+v", clean, churned)
 	}
 }
 

@@ -2,8 +2,8 @@
 // evaluation artifacts: Table 1 (distributed MWVC algorithms) and Table 2
 // (distributed MWHVC algorithms) as *measured* round counts and
 // approximation ratios, plus the theorem-shape and throughput experiments
-// E1–E13 indexed by Registry (run `benchharness -list`; E12 lives in the
-// sessions subpackage). Each experiment returns printable
+// E1–E17 indexed by Registry (run `benchharness -list`; E12 and E14–E16
+// live in the sessions subpackage). Each experiment returns printable
 // tables consumed by cmd/benchharness and by the root-level benchmarks.
 package bench
 
@@ -20,11 +20,14 @@ type Config struct {
 	Quick bool
 	// Seed makes workload generation deterministic (0 is a valid seed).
 	Seed int64
+	// Workers overrides the worker-count sweep of the scaling suite (E17);
+	// empty uses the default 1/2/4/8 (benchharness -workers).
+	Workers []int
 }
 
 // Table is a printable experiment result.
 type Table struct {
-	// ID is the experiment id (T1, T2, E1..E13).
+	// ID is the experiment id (T1, T2, E1..E17).
 	ID string
 	// Title describes what the table reproduces.
 	Title string
@@ -102,6 +105,7 @@ func Registry() []Experiment {
 		{ID: "E10", Title: "Local α(e): no global knowledge of Δ (Theorem 9 remark)", Run: LocalAlpha},
 		{ID: "E11", Title: "Engine throughput: goroutine-per-node vs sharded worker pool", Run: EngineThroughput},
 		{ID: "E13", Title: "Direct solver throughput: chunk-parallel flat runner vs sharded CONGEST", Run: FlatThroughput},
+		{ID: "E17", Title: "Multicore scaling: flat runner worker sweep with speedup gate", Run: FlatScaling},
 	}
 }
 

@@ -317,5 +317,5 @@ func Run(g *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	if opts.Exact {
 		return runLockstep(newRatNumeric(), g, opts, nil)
 	}
-	return runLockstep(floatNumeric{}, g, opts, nil)
+	return runLockstepFloat(g, opts, nil)
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distcover/internal/hypergraph"
@@ -13,21 +14,48 @@ import (
 
 // This file implements the flat engine: a chunk-parallel execution of the
 // lockstep runner (runner.go) over the hypergraph's CSR arrays. Each phase
-// of an iteration becomes a parallel-for over contiguous index ranges with
-// per-worker partial statistics and a deterministic reduction, and the one
-// scatter in the sequential runner — edges adding their dual increment into
-// every member vertex's Σδ — is inverted into a per-vertex gather over the
-// incidence CSR. The gather visits each vertex's incident edges in
-// ascending edge id, which is exactly the order the sequential edge loop
-// scatters in, so every float accumulates the same addends in the same
-// order: the flat engine is bit-identical to runLockstep (and therefore to
-// all CONGEST engines), independent of the worker count. The engine
-// equivalence tests enforce this.
+// of an iteration becomes a parallel-for over chunks of the current
+// frontier with per-chunk partial statistics and a deterministic reduction,
+// and the one scatter in the sequential runner — edges adding their dual
+// increment into every member vertex's Σδ — is inverted into a per-vertex
+// gather over the incidence CSR. The gather visits each vertex's incident
+// edges in ascending edge id, which is exactly the order the sequential
+// edge loop scatters in, so every float accumulates the same addends in the
+// same order: the flat engine is bit-identical to runLockstep (and
+// therefore to all CONGEST engines), independent of the worker count. The
+// engine equivalence tests enforce this.
 //
-// Work is partitioned by CSR volume, not by index count: vertex chunks hold
-// equal shares of the incidence array and edge chunks equal shares of the
-// edge-vertex array, so a power-law instance's hub vertices do not pile
-// onto one worker.
+// Frontier tracking: the runner maintains two compact ascending index
+// lists — activeV, the vertices with doneV false, and liveE, the uncovered
+// edges — and compacts both in place at the end of each iteration. Phases
+// iterate the frontier, not [0,n) / [0,m), so per-iteration work is
+// proportional to the residual instance (the accounting the paper's round
+// bounds assume), covered edges are never revisited, and the per-iteration
+// trace counters fall out of the list lengths. The compaction preserves two
+// invariants the phase bodies rely on: every vertex of a live edge is
+// active (a vertex retires only once all its edges are covered, and a
+// joining vertex covers its edges in the same iteration it joins), and
+// newly[e] is false for every edge outside liveE (cleared exactly once,
+// when the edge is dropped from the list).
+//
+// Barriers: an iteration synchronizes twice, not three times. The vertex
+// phase is one parallel-for; the edge and gather phases are fused into a
+// second one, where each participant drains edge chunks from a shared
+// atomic counter, waits on an internal completion count (edgeWG), and then
+// drains gather chunks — the gather of one iteration never overlaps the
+// edge writes (addE, newly, covered, bid) it reads. Chunks are grabbed
+// work-stealing style, several per worker, so an imbalanced power-law
+// frontier does not leave workers idle at the barrier. When a tracer is
+// attached the runner instead runs the edge and gather phases as separate
+// timed parallel-fors so per-phase durations stay observable — same
+// arithmetic, same results, one more barrier.
+//
+// State and scratch live in a pooled arena (arena.go): a warm solve — in
+// particular every residual re-solve of a Session — performs no per-slice
+// allocations. Worker goroutines are started per solve from pooled
+// scaffolding and stopped before the solver is released; tokens, not
+// closures, cross the dispatch channel, keeping the steady state
+// allocation-free.
 //
 // Exact (big.Rat) runs are routed to the sequential runner by RunFlat:
 // rational arithmetic is allocation-bound rather than memory-bound, and the
@@ -62,25 +90,75 @@ func RunResidualFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 	return runLockstepFlat(g, opts, carry, workers)
 }
 
-// flatRun is the parallel scaffolding around the shared solver state.
+// flatEdgeVisits, when non-nil, receives the number of live edges the edge
+// phase is about to visit, once per iteration. Test instrumentation only:
+// the frontier property that covered edges are never revisited is asserted
+// by summing these counts against the sequential runner's trace.
+var flatEdgeVisits func(liveEdges int)
+
+// Phases of the flat runner's parallel-for dispatch. The fused
+// fpEdgeGather is the default; fpEdge/fpGather are its split halves, used
+// when a tracer needs separately timed phases.
+const (
+	fpInitVertex uint8 = iota
+	fpInitEdge
+	fpInitGather
+	fpVertex
+	fpEdgeGather
+	fpEdge
+	fpGather
+)
+
+const (
+	// flatMinChunk is the smallest frontier slice worth shipping to the
+	// worker pool; below twice this, a phase runs inline on the
+	// coordinator and the barrier is skipped entirely (late rounds touch
+	// tiny frontiers).
+	flatMinChunk = 1024
+	// flatChunksPerWorker oversubscribes the chunk grid so work-stealing
+	// can rebalance power-law frontiers: a worker that lands on a chunk of
+	// hub vertices simply grabs fewer chunks.
+	flatChunksPerWorker = 4
+)
+
+// flatRun is the parallel scaffolding around the shared solver state. It is
+// pooled inside floatSolver (arena.go); sticky fields (work channel, loopFn,
+// partStats) survive across solves, everything else is reinitialized per
+// run.
 type flatRun struct {
 	st      *state[float64]
 	workers int
-	vb      []int // vertex chunk bounds, len workers+1
-	eb      []int // edge chunk bounds, len workers+1
+
+	// Frontier lists: activeV holds the vertices with doneV false, liveE
+	// the uncovered edges, both ascending, both compacted in place at the
+	// end of each iteration.
+	activeV []int
+	liveE   []int
 
 	// Per-edge iteration scratch, written by edge chunks and read by vertex
-	// gather chunks after the phase barrier.
+	// gather chunks after the fused phase's internal completion wait.
 	addE  []float64 // dual increment of a live edge this iteration
 	newly []bool    // edge became covered this iteration
 
 	// Per-chunk partials, merged by the coordinator after each barrier.
 	partStats []IterationStats
 
-	fn       func(chunk int) // body of the phase in flight
-	work     chan int
-	phaseWG  sync.WaitGroup
-	workerWG sync.WaitGroup
+	carry []float64 // warm-start loads, set only during initialization
+
+	// Dispatch state of the phase in flight. next/next2 are the
+	// work-stealing cursors over the (first, gather) chunk grids.
+	phase       uint8
+	tasks       int
+	gatherTasks int
+	lastTasks   int
+	next        atomic.Int32
+	next2       atomic.Int32
+
+	edgeWG   sync.WaitGroup // fused phase: edge chunks outstanding
+	phaseWG  sync.WaitGroup // helpers still inside the phase
+	workerWG sync.WaitGroup // helper goroutines alive
+	work     chan int8      // 1 = run the phase in flight, -1 = exit
+	loopFn   func()         // bound workerLoop, kept so `go` spawns allocate nothing new
 
 	// chunkNS holds per-chunk wall-clock of the phase in flight for the
 	// chunk-imbalance telemetry. Allocated only when a tracer is set, so
@@ -101,38 +179,28 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 	if max := maxInt(n, 1); workers > max {
 		workers = max
 	}
-	st := newState(floatNumeric{}, g, opts)
-	r := &flatRun{
-		st:        st,
-		workers:   workers,
-		addE:      make([]float64, m),
-		newly:     make([]bool, m),
-		partStats: make([]IterationStats, workers),
+
+	s := floatSolverPool.Get().(*floatSolver)
+	st := s.initState(g, opts, true)
+	r := &s.run
+	r.st = st
+	r.workers = workers
+	r.addE = s.arena.f64(m)
+	r.newly = s.arena.boolsZero(m)
+	r.activeV = s.arena.intsRaw(n)[:0]
+	r.liveE = s.arena.intsRaw(m)[:0]
+	maxTasks := maxInt(workers*flatChunksPerWorker, 1)
+	if cap(r.partStats) < maxTasks {
+		r.partStats = make([]IterationStats, maxTasks)
 	}
+	r.partStats = r.partStats[:maxTasks]
 	if opts.Tracer != nil {
-		r.chunkNS = make([]int64, workers)
+		r.chunkNS = make([]int64, maxTasks)
+	} else {
+		r.chunkNS = nil
 	}
-	// The CSR offset arrays are themselves the cumulative volumes the
-	// chunks are balanced on — no per-solve derivation.
-	r.vb = volumeBounds(csrOffsets(g.IncidenceOffsets()), workers)
-	r.eb = volumeBounds(csrOffsets(g.EdgeOffsets()), workers)
-	if workers > 1 {
-		r.work = make(chan int)
-		for w := 0; w < workers; w++ {
-			r.workerWG.Add(1)
-			go func() {
-				defer r.workerWG.Done()
-				for c := range r.work {
-					r.fn(c)
-					r.phaseWG.Done()
-				}
-			}()
-		}
-		defer func() {
-			close(r.work)
-			r.workerWG.Wait()
-		}()
-	}
+	r.startWorkers()
+	defer s.finishFlat()
 
 	globalAlpha := st.resolveAlphas(f, eps)
 	maxIter := opts.MaxIterations
@@ -147,7 +215,23 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 	if tr != nil {
 		t0 = time.Now()
 	}
-	r.initIterationZero(carry)
+	r.carry = carry
+	r.dispatch(fpInitVertex, r.grid(n), 0)
+	r.dispatch(fpInitEdge, r.grid(m), 0)
+	r.dispatch(fpInitGather, r.grid(n), 0)
+	r.carry = nil
+	av := r.activeV
+	for v := 0; v < n; v++ {
+		if !st.doneV[v] {
+			av = append(av, v)
+		}
+	}
+	r.activeV = av
+	le := r.liveE
+	for e := 0; e < m; e++ {
+		le = append(le, e)
+	}
+	r.liveE = le
 	if tr != nil {
 		tr.Phase(0, telemetry.PhaseInit, time.Since(t0), r.maxChunkDur())
 	}
@@ -168,20 +252,41 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 		if tr != nil {
 			t0 = time.Now()
 		}
-		r.vertexPhase(&its)
+		vt := r.grid(len(r.activeV))
+		r.dispatch(fpVertex, vt, 0)
+		for c := 0; c < vt; c++ {
+			p := &r.partStats[c]
+			its.Joined += p.Joined
+			its.LevelIncrements += p.LevelIncrements
+			its.StuckVertices += p.StuckVertices
+			if p.MaxLevelIncrement > its.MaxLevelIncrement {
+				its.MaxLevelIncrement = p.MaxLevelIncrement
+			}
+		}
 		if tr != nil {
 			tr.Phase(res.Iterations, telemetry.PhaseVertex, time.Since(t0), r.maxChunkDur())
 			t0 = time.Now()
 		}
-		r.edgePhase(&its)
+		if flatEdgeVisits != nil {
+			flatEdgeVisits(len(r.liveE))
+		}
+		et := r.grid(len(r.liveE))
 		if tr != nil {
+			r.dispatch(fpEdge, et, 0)
 			tr.Phase(res.Iterations, telemetry.PhaseEdge, time.Since(t0), r.maxChunkDur())
 			t0 = time.Now()
-		}
-		r.gatherPhase()
-		if tr != nil {
+			r.dispatch(fpGather, r.grid(len(r.activeV)), 0)
 			tr.Phase(res.Iterations, telemetry.PhaseGather, time.Since(t0), r.maxChunkDur())
+		} else {
+			r.dispatch(fpEdgeGather, et, r.grid(len(r.activeV)))
 		}
+		for c := 0; c < et; c++ {
+			p := &r.partStats[c]
+			its.CoveredEdges += p.CoveredEdges
+			its.RaisedEdges += p.RaisedEdges
+			st.uncovered -= p.CoveredEdges
+		}
+		r.compactFrontiers()
 		if opts.CheckInvariants {
 			if err := st.checkInvariants(res.Iterations, res.Z); err != nil {
 				return nil, err
@@ -189,11 +294,7 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 		}
 		if opts.CollectTrace {
 			its.ActiveEdges = st.uncovered
-			for v := 0; v < n; v++ {
-				if !st.doneV[v] {
-					its.ActiveVertices++
-				}
-			}
+			its.ActiveVertices = len(r.activeV)
 			res.Trace = append(res.Trace, its)
 		}
 	}
@@ -201,35 +302,176 @@ func runLockstepFlat(g *hypergraph.Hypergraph, opts Options, carry []float64, wo
 	return res, nil
 }
 
-// forChunks runs fn(chunk) for every chunk, in parallel on the worker pool
-// (inline when the run is single-worker). The surrounding barrier provides
-// the happens-before edges between phases.
-func (r *flatRun) forChunks(fn func(chunk int)) {
-	if r.chunkNS != nil {
-		inner := fn
-		fn = func(chunk int) {
-			t0 := time.Now()
-			inner(chunk)
-			r.chunkNS[chunk] = int64(time.Since(t0))
-		}
+// finishFlat tears a flat solve down in the order the pool requires: stop
+// the helper goroutines (nothing may run when the solver is pooled), then
+// release the arena-backed state.
+func (s *floatSolver) finishFlat() {
+	s.run.stopWorkers()
+	s.run.carry = nil
+	s.release()
+}
+
+// grid sizes the chunk grid for a phase over items frontier entries: 1 (run
+// inline, no barrier) for small frontiers or single-worker runs, otherwise
+// enough flatMinChunk-sized chunks for work-stealing, capped at
+// flatChunksPerWorker per worker. The chunk count never affects results —
+// per-chunk statistics are order-independent sums and every float lands on
+// a fixed owner — so it is free to vary with the frontier.
+func (r *flatRun) grid(items int) int {
+	if r.workers == 1 || items < 2*flatMinChunk {
+		return 1
 	}
-	if r.workers == 1 {
-		fn(0)
+	t := items / flatMinChunk
+	if limit := r.workers * flatChunksPerWorker; t > limit {
+		t = limit
+	}
+	return t
+}
+
+// gridRange returns chunk c's half-open slice bounds of items split into
+// tasks near-equal chunks.
+func gridRange(items, tasks, c int) (int, int) {
+	return c * items / tasks, (c + 1) * items / tasks
+}
+
+// startWorkers brings up workers-1 helper goroutines on the pooled dispatch
+// channel. The channel and the bound loop function are created once per
+// pooled flatRun and reused by later solves.
+func (r *flatRun) startWorkers() {
+	if r.workers <= 1 {
 		return
 	}
-	r.fn = fn
-	r.phaseWG.Add(r.workers)
-	for c := 0; c < r.workers; c++ {
-		r.work <- c
+	if r.work == nil || cap(r.work) < r.workers {
+		r.work = make(chan int8, r.workers)
 	}
+	if r.loopFn == nil {
+		r.loopFn = r.workerLoop
+	}
+	r.workerWG.Add(r.workers - 1)
+	for i := 0; i < r.workers-1; i++ {
+		go r.loopFn()
+	}
+}
+
+// stopWorkers exits every helper and waits for them; the channel itself is
+// never closed, so the next solve can reuse it.
+func (r *flatRun) stopWorkers() {
+	if r.workers <= 1 {
+		return
+	}
+	for i := 0; i < r.workers-1; i++ {
+		r.work <- -1
+	}
+	r.workerWG.Wait()
+}
+
+func (r *flatRun) workerLoop() {
+	defer r.workerWG.Done()
+	for tok := range r.work {
+		if tok < 0 {
+			return
+		}
+		r.runPhase()
+		r.phaseWG.Done()
+	}
+}
+
+// dispatch runs one phase to completion: it publishes the dispatch state,
+// wakes the helpers (unless the grid is a single chunk, which runs inline
+// with no barrier at all), participates itself, and returns only when every
+// chunk has been processed. All happens-before edges between phases come
+// from this barrier; the fused phase's internal edge→gather ordering comes
+// from edgeWG.
+func (r *flatRun) dispatch(phase uint8, tasks, gatherTasks int) {
+	r.phase = phase
+	r.tasks = tasks
+	r.gatherTasks = gatherTasks
+	r.lastTasks = tasks
+	r.next.Store(0)
+	r.next2.Store(0)
+	if phase == fpEdgeGather {
+		r.edgeWG.Add(tasks)
+	}
+	if r.workers == 1 || (tasks <= 1 && gatherTasks <= 1) {
+		r.runPhase()
+		return
+	}
+	helpers := r.workers - 1
+	r.phaseWG.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		r.work <- 1
+	}
+	r.runPhase()
 	r.phaseWG.Wait()
+}
+
+// runPhase drains chunks of the phase in flight until the grid is empty.
+// For the fused edge+gather phase each participant first drains edge
+// chunks, then waits for all edge chunks to complete (the internal
+// non-coordinator barrier that replaces the old third global one), then
+// drains gather chunks.
+func (r *flatRun) runPhase() {
+	for {
+		c := int(r.next.Add(1)) - 1
+		if c >= r.tasks {
+			break
+		}
+		if r.chunkNS != nil {
+			t0 := time.Now()
+			r.runChunk(c)
+			r.chunkNS[c] = int64(time.Since(t0))
+		} else {
+			r.runChunk(c)
+		}
+		if r.phase == fpEdgeGather {
+			r.edgeWG.Done()
+		}
+	}
+	if r.phase == fpEdgeGather {
+		r.edgeWG.Wait()
+		nAct := len(r.activeV)
+		for {
+			c := int(r.next2.Add(1)) - 1
+			if c >= r.gatherTasks {
+				break
+			}
+			lo, hi := gridRange(nAct, r.gatherTasks, c)
+			r.gatherRange(lo, hi)
+		}
+	}
+}
+
+func (r *flatRun) runChunk(c int) {
+	switch r.phase {
+	case fpInitVertex:
+		lo, hi := gridRange(r.st.g.NumVertices(), r.tasks, c)
+		r.initVertexRange(lo, hi)
+	case fpInitEdge:
+		lo, hi := gridRange(r.st.g.NumEdges(), r.tasks, c)
+		r.initEdgeRange(lo, hi)
+	case fpInitGather:
+		lo, hi := gridRange(r.st.g.NumVertices(), r.tasks, c)
+		r.initGatherRange(lo, hi)
+	case fpVertex:
+		lo, hi := gridRange(len(r.activeV), r.tasks, c)
+		r.vertexRange(lo, hi, &r.partStats[c])
+	case fpEdgeGather, fpEdge:
+		lo, hi := gridRange(len(r.liveE), r.tasks, c)
+		r.edgeRange(lo, hi, &r.partStats[c])
+	case fpGather:
+		lo, hi := gridRange(len(r.activeV), r.tasks, c)
+		r.gatherRange(lo, hi)
+	}
 }
 
 // maxChunkDur returns the longest chunk of the most recent parallel-for
 // (tracing only; 0 when tracing is off).
 func (r *flatRun) maxChunkDur() time.Duration {
 	var max int64
-	for _, ns := range r.chunkNS {
+	if r.chunkNS == nil {
+		return 0
+	}
+	for _, ns := range r.chunkNS[:r.lastTasks] {
 		if ns > max {
 			max = ns
 		}
@@ -237,235 +479,244 @@ func (r *flatRun) maxChunkDur() time.Duration {
 	return time.Duration(max)
 }
 
-// initIterationZero is the parallel form of state.initIterationZero: vertex
-// seeding, per-edge initial bids, then a per-vertex gather of the bids into
-// the Σδ / Σbid aggregates (ascending edge id — the sequential scatter
-// order).
-func (r *flatRun) initIterationZero(carry []float64) {
-	st, g := r.st, r.st.g
-	num := st.num
-	f := maxInt(g.Rank(), 1)
-	r.forChunks(func(c int) {
-		for v := r.vb[c]; v < r.vb[c+1]; v++ {
-			w := g.Weight(hypergraph.VertexID(v))
-			st.wT[v] = float64(w)
-			st.fWT[v] = float64(w * int64(f))
-			st.sumDelta[v] = 0
-			if carry != nil {
-				st.sumDelta[v] = carry[v]
-				for num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)) > st.wT[v] {
-					st.level[v]++
-				}
-			}
-			st.sumBid[v] = 0
-			st.uncovDeg[v] = g.Degree(hypergraph.VertexID(v))
-			if st.uncovDeg[v] == 0 {
-				st.doneV[v] = true
-			}
+// compactFrontiers drops this iteration's covered edges and retired
+// vertices from the live lists, in place and in order. Dropping an edge is
+// the one place its newly flag is cleared — each edge pays that write
+// exactly once, instead of every remaining iteration scrubbing the whole
+// edge array (the pre-frontier runner's behavior).
+func (r *flatRun) compactFrontiers() {
+	st := r.st
+	le := r.liveE[:0]
+	for _, e := range r.liveE {
+		if st.covered[e] {
+			r.newly[e] = false
+		} else {
+			le = append(le, e)
 		}
-	})
-	r.forChunks(func(c int) {
-		for e := r.eb[c]; e < r.eb[c+1]; e++ {
-			vs := g.Edge(hypergraph.EdgeID(e))
-			ve := vs[0]
-			var b float64
-			if carry == nil {
-				for _, v := range vs[1:] {
-					// argmin w(v)/|E(v)| with deterministic tie-break on lower
-					// id, compared in exact integers (see runner.go).
-					if g.Weight(v)*int64(g.Degree(ve)) < g.Weight(ve)*int64(g.Degree(v)) {
-						ve = v
-					}
-				}
-				b = num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve)))
-			} else {
-				best := num.HalfPow(num.FromRatio(g.Weight(ve), int64(g.Degree(ve))), st.level[ve])
-				for _, v := range vs[1:] {
-					cand := num.HalfPow(num.FromRatio(g.Weight(v), int64(g.Degree(v))), st.level[v])
-					if cand < best {
-						ve, best = v, cand
-					}
-				}
-				b = num.HalfPow(num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve))), st.level[ve])
-			}
-			st.bid[e] = b
-			st.delta[e] = b
+	}
+	r.liveE = le
+	av := r.activeV[:0]
+	for _, v := range r.activeV {
+		if !st.doneV[v] {
+			av = append(av, v)
 		}
-	})
-	r.forChunks(func(c int) {
-		for v := r.vb[c]; v < r.vb[c+1]; v++ {
-			for _, e := range g.Incident(hypergraph.VertexID(v)) {
-				st.sumDelta[v] = num.Add(st.sumDelta[v], st.bid[e])
-				st.sumBid[v] = num.Add(st.sumBid[v], st.bid[e])
-			}
-		}
-	})
+	}
+	r.activeV = av
 }
 
-// vertexPhase runs steps 3a/3d/3e in parallel. Vertices only touch their
-// own state, so the body is the sequential one verbatim with per-chunk
-// statistics.
-func (r *flatRun) vertexPhase(its *IterationStats) {
+// initVertexRange seeds vertices [lo,hi): weights, carried loads and level
+// derivation on a warm start, uncovered degrees. The parallel form of the
+// first loop of state.initIterationZero.
+func (r *flatRun) initVertexRange(lo, hi int) {
+	st, g := r.st, r.st.g
+	num := st.num
+	carry := r.carry
+	for v := lo; v < hi; v++ {
+		w := g.Weight(hypergraph.VertexID(v))
+		st.wT[v] = float64(w)
+		st.fWT[v] = float64(w * int64(maxInt(g.Rank(), 1)))
+		st.sumDelta[v] = 0
+		if carry != nil {
+			st.sumDelta[v] = carry[v]
+			for num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)) > st.wT[v] {
+				st.level[v]++
+			}
+		}
+		st.sumBid[v] = 0
+		st.uncovDeg[v] = g.Degree(hypergraph.VertexID(v))
+		if st.uncovDeg[v] == 0 {
+			st.doneV[v] = true
+		}
+	}
+}
+
+// initEdgeRange computes the iteration-0 bids of edges [lo,hi): the second
+// loop of state.initIterationZero.
+func (r *flatRun) initEdgeRange(lo, hi int) {
+	st, g := r.st, r.st.g
+	num := st.num
+	carry := r.carry
+	for e := lo; e < hi; e++ {
+		vs := g.Edge(hypergraph.EdgeID(e))
+		ve := vs[0]
+		var b float64
+		if carry == nil {
+			for _, v := range vs[1:] {
+				// argmin w(v)/|E(v)| with deterministic tie-break on lower
+				// id, compared in exact integers (see runner.go).
+				if g.Weight(v)*int64(g.Degree(ve)) < g.Weight(ve)*int64(g.Degree(v)) {
+					ve = v
+				}
+			}
+			b = num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve)))
+		} else {
+			best := num.HalfPow(num.FromRatio(g.Weight(ve), int64(g.Degree(ve))), st.level[ve])
+			for _, v := range vs[1:] {
+				cand := num.HalfPow(num.FromRatio(g.Weight(v), int64(g.Degree(v))), st.level[v])
+				if cand < best {
+					ve, best = v, cand
+				}
+			}
+			b = num.HalfPow(num.FromRatio(g.Weight(ve), 2*int64(g.Degree(ve))), st.level[ve])
+		}
+		st.bid[e] = b
+		st.delta[e] = b
+	}
+}
+
+// initGatherRange folds the iteration-0 bids into the Σδ / Σbid aggregates
+// of vertices [lo,hi), in ascending edge id — the sequential scatter order.
+func (r *flatRun) initGatherRange(lo, hi int) {
+	st, g := r.st, r.st.g
+	num := st.num
+	for v := lo; v < hi; v++ {
+		for _, e := range g.Incident(hypergraph.VertexID(v)) {
+			st.sumDelta[v] = num.Add(st.sumDelta[v], st.bid[e])
+			st.sumBid[v] = num.Add(st.sumBid[v], st.bid[e])
+		}
+	}
+}
+
+// vertexRange runs steps 3a/3d/3e for the active vertices in frontier
+// positions [lo,hi). The body is the sequential one verbatim, minus the
+// doneV test the frontier makes redundant, with per-chunk statistics.
+func (r *flatRun) vertexRange(lo, hi int, part *IterationStats) {
 	st := r.st
 	num := st.num
-	r.forChunks(func(c int) {
-		part := &r.partStats[c]
-		*part = IterationStats{}
-		for v := r.vb[c]; v < r.vb[c+1]; v++ {
-			st.inc[v] = 0
-			st.joined[v] = false
-			if st.doneV[v] {
-				continue
-			}
-			if num.Cmp(num.Mul(st.sumDelta[v], st.fPlusEps), st.fWT[v]) >= 0 {
-				st.inCover[v] = true
-				st.joined[v] = true
-				st.doneV[v] = true
-				part.Joined++
-				continue
-			}
-			for num.Cmp(num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)), st.wT[v]) > 0 {
-				st.level[v]++
-				st.inc[v]++
-			}
-			if st.inc[v] > 0 {
-				st.stuckCur[v] = 0
-				part.LevelIncrements += st.inc[v]
-				if st.inc[v] > part.MaxLevelIncrement {
-					part.MaxLevelIncrement = st.inc[v]
-				}
-			}
-			view := num.HalfPow(st.sumBid[v], st.inc[v])
-			if num.Cmp(num.Mul(st.alphaV[v], view), num.HalfPow(st.wT[v], st.level[v]+1)) <= 0 {
-				st.raise[v] = true
-			} else {
-				st.raise[v] = false
-				part.StuckVertices++
-				st.stuckCur[v]++
-				if st.stuckCur[v] > st.stuckMax[v] {
-					st.stuckMax[v] = st.stuckCur[v]
-				}
+	*part = IterationStats{}
+	for _, v := range r.activeV[lo:hi] {
+		st.inc[v] = 0
+		st.joined[v] = false
+		if num.Cmp(num.Mul(st.sumDelta[v], st.fPlusEps), st.fWT[v]) >= 0 {
+			st.inCover[v] = true
+			st.joined[v] = true
+			st.doneV[v] = true
+			part.Joined++
+			continue
+		}
+		for num.Cmp(num.Add(st.sumDelta[v], num.HalfPow(st.wT[v], st.level[v]+1)), st.wT[v]) > 0 {
+			st.level[v]++
+			st.inc[v]++
+		}
+		if st.inc[v] > 0 {
+			st.stuckCur[v] = 0
+			part.LevelIncrements += st.inc[v]
+			if st.inc[v] > part.MaxLevelIncrement {
+				part.MaxLevelIncrement = st.inc[v]
 			}
 		}
-	})
-	for c := 0; c < r.workers; c++ {
-		p := r.partStats[c]
-		its.Joined += p.Joined
-		its.LevelIncrements += p.LevelIncrements
-		its.StuckVertices += p.StuckVertices
-		if p.MaxLevelIncrement > its.MaxLevelIncrement {
-			its.MaxLevelIncrement = p.MaxLevelIncrement
+		view := num.HalfPow(st.sumBid[v], st.inc[v])
+		if num.Cmp(num.Mul(st.alphaV[v], view), num.HalfPow(st.wT[v], st.level[v]+1)) <= 0 {
+			st.raise[v] = true
+		} else {
+			st.raise[v] = false
+			part.StuckVertices++
+			st.stuckCur[v]++
+			if st.stuckCur[v] > st.stuckMax[v] {
+				st.stuckMax[v] = st.stuckCur[v]
+			}
 		}
 	}
 }
 
-// edgePhase runs the per-edge half of steps 3b/3c/3d/3f in parallel: each
-// live edge decides covered-vs-live, halves and raises its bid, and records
-// its dual increment in addE for the gather phase. The Σδ scatter of the
-// sequential runner is deferred to gatherPhase.
-func (r *flatRun) edgePhase(its *IterationStats) {
+// edgeRange runs the per-edge half of steps 3b/3c/3d/3f for the live edges
+// in frontier positions [lo,hi): each decides covered-vs-live, halves and
+// raises its bid, and records its dual increment in addE for the gather
+// half. Only live edges are visited — the covered test (and the dead
+// newly[e] reset) of the pre-frontier runner is gone.
+func (r *flatRun) edgeRange(lo, hi int, part *IterationStats) {
 	st, g := r.st, r.st.g
 	num := st.num
-	r.forChunks(func(c int) {
-		part := &r.partStats[c]
-		*part = IterationStats{}
-		for e := r.eb[c]; e < r.eb[c+1]; e++ {
+	*part = IterationStats{}
+	for _, e := range r.liveE[lo:hi] {
+		vs := g.Edge(hypergraph.EdgeID(e))
+		nowCovered := false
+		halvings := 0
+		allRaise := true
+		for _, v := range vs {
+			if st.joined[v] {
+				nowCovered = true
+			}
+			halvings += st.inc[v]
+			if !st.raise[v] {
+				allRaise = false
+			}
+		}
+		if nowCovered {
+			st.covered[e] = true
+			r.newly[e] = true
+			part.CoveredEdges++
+			continue
+		}
+		if halvings > 0 {
+			st.bid[e] = num.HalfPow(st.bid[e], halvings)
+		}
+		if allRaise {
+			st.bid[e] = num.Mul(st.bid[e], st.alphaE[e])
+			part.RaisedEdges++
+			st.raises[e]++
+		}
+		add := st.bid[e]
+		if st.opts.Variant == VariantSingleLevel {
+			add = num.HalfPow(add, 1)
+		}
+		st.delta[e] = num.Add(st.delta[e], add)
+		r.addE[e] = add
+	}
+}
+
+// gatherRange is the vertex-side completion of the edge phase plus the
+// aggregate refresh for the active vertices in frontier positions [lo,hi),
+// fused into one incidence walk per vertex: newly covered edges decrement
+// the uncovered degree, live edges contribute their dual increment to Σδ
+// and their bid to the refreshed Σbid — both in ascending edge id, the
+// order the sequential runner applies them in. Vertices that joined in this
+// iteration's vertex phase are still listed in activeV (compaction runs
+// after the phase) and are skipped here, exactly as the sequential refresh
+// skips done vertices.
+func (r *flatRun) gatherRange(lo, hi int) {
+	st, g := r.st, r.st.g
+	num := st.num
+	for _, v := range r.activeV[lo:hi] {
+		if st.doneV[v] {
+			continue
+		}
+		deg := st.uncovDeg[v]
+		sumBid := 0.0
+		alphaV := st.alphaV[v]
+		if st.localAlpha {
+			alphaV = 2
+		}
+		for _, e := range g.Incident(hypergraph.VertexID(v)) {
+			if r.newly[e] {
+				deg--
+				continue
+			}
 			if st.covered[e] {
-				r.newly[e] = false // covered in an earlier iteration
 				continue
 			}
-			vs := g.Edge(hypergraph.EdgeID(e))
-			nowCovered := false
-			halvings := 0
-			allRaise := true
-			for _, v := range vs {
-				if st.joined[v] {
-					nowCovered = true
-				}
-				halvings += st.inc[v]
-				if !st.raise[v] {
-					allRaise = false
-				}
+			st.sumDelta[v] = num.Add(st.sumDelta[v], r.addE[e])
+			sumBid = num.Add(sumBid, st.bid[e])
+			if st.localAlpha && st.alphaE[e] > alphaV {
+				alphaV = st.alphaE[e]
 			}
-			if nowCovered {
-				st.covered[e] = true
-				r.newly[e] = true
-				part.CoveredEdges++
-				continue
-			}
-			if halvings > 0 {
-				st.bid[e] = num.HalfPow(st.bid[e], halvings)
-			}
-			if allRaise {
-				st.bid[e] = num.Mul(st.bid[e], st.alphaE[e])
-				part.RaisedEdges++
-				st.raises[e]++
-			}
-			add := st.bid[e]
-			if st.opts.Variant == VariantSingleLevel {
-				add = num.HalfPow(add, 1)
-			}
-			st.delta[e] = num.Add(st.delta[e], add)
-			r.addE[e] = add
 		}
-	})
-	for c := 0; c < r.workers; c++ {
-		p := r.partStats[c]
-		its.CoveredEdges += p.CoveredEdges
-		its.RaisedEdges += p.RaisedEdges
-		st.uncovered -= p.CoveredEdges
+		st.uncovDeg[v] = deg
+		if deg == 0 {
+			st.doneV[v] = true
+			continue
+		}
+		st.sumBid[v] = sumBid
+		if st.localAlpha {
+			st.alphaV[v] = alphaV
+		}
 	}
-}
-
-// gatherPhase is the vertex-side completion of the edge phase plus the
-// aggregate refresh, fused into one incidence walk per vertex: newly
-// covered edges decrement the uncovered degree, live edges contribute their
-// dual increment to Σδ and their bid to the refreshed Σbid — both in
-// ascending edge id, the order the sequential runner applies them in.
-func (r *flatRun) gatherPhase() {
-	st, g := r.st, r.st.g
-	num := st.num
-	r.forChunks(func(c int) {
-		for v := r.vb[c]; v < r.vb[c+1]; v++ {
-			if st.doneV[v] {
-				continue
-			}
-			deg := st.uncovDeg[v]
-			sumBid := 0.0
-			alphaV := st.alphaV[v]
-			if st.localAlpha {
-				alphaV = 2
-			}
-			for _, e := range g.Incident(hypergraph.VertexID(v)) {
-				if r.newly[e] {
-					deg--
-					continue
-				}
-				if st.covered[e] {
-					continue
-				}
-				st.sumDelta[v] = num.Add(st.sumDelta[v], r.addE[e])
-				sumBid = num.Add(sumBid, st.bid[e])
-				if st.localAlpha && st.alphaE[e] > alphaV {
-					alphaV = st.alphaE[e]
-				}
-			}
-			st.uncovDeg[v] = deg
-			if deg == 0 {
-				st.doneV[v] = true
-				continue
-			}
-			st.sumBid[v] = sumBid
-			if st.localAlpha {
-				st.alphaV[v] = alphaV
-			}
-		}
-	})
 }
 
 // csrOffsets adapts a hypergraph offset view for volumeBounds: the
 // zero-value graph exposes empty offset arrays, which stand for zero
-// items.
+// items. (Used by the partition planner; the flat runner itself now
+// rebalances dynamically via work-stealing chunks.)
 func csrOffsets(off []int) []int {
 	if len(off) == 0 {
 		return []int{0}

@@ -105,7 +105,7 @@ func TestFlatBitIdenticalToLockstep(t *testing.T) {
 		if err != nil {
 			t.Fatalf("instance %d (%s): sequential: %v", i, v.name, err)
 		}
-		for _, workers := range []int{1, 2, 3, 7} {
+		for workers := 1; workers <= 8; workers++ {
 			got, err := RunFlat(g, opts, workers)
 			if err != nil {
 				t.Fatalf("instance %d (%s): flat/%d: %v", i, v.name, workers, err)
@@ -128,16 +128,49 @@ func TestFlatResidualBitIdentical(t *testing.T) {
 		}
 		opts := DefaultOptions()
 		opts.CollectTrace = true
+		opts.CheckInvariants = true
 		want, err := RunResidual(g, opts, carry)
 		if err != nil {
 			t.Fatalf("instance %d: sequential residual: %v", i, err)
 		}
-		for _, workers := range []int{1, 3} {
+		for workers := 1; workers <= 8; workers++ {
 			got, err := RunResidualFlat(g, opts, carry, workers)
 			if err != nil {
 				t.Fatalf("instance %d: flat residual/%d: %v", i, workers, err)
 			}
 			requireFlatSameResult(t, "residual", got, want)
+		}
+	}
+}
+
+// TestFlatCoveredEdgesNeverRevisited asserts the frontier actually drops
+// covered edges from the work list: the number of live edges entering each
+// iteration's edge phase must equal the uncovered-edge count the previous
+// iteration left behind (m for the first iteration). A covered edge
+// reappearing in the live list would inflate exactly this count.
+func TestFlatCoveredEdgesNeverRevisited(t *testing.T) {
+	rng := rand.New(rand.NewSource(4711))
+	for i := 0; i < 12; i++ {
+		g := flatTestInstance(t, rng, i)
+		opts := DefaultOptions()
+		opts.CollectTrace = true
+		var live []int
+		flatEdgeVisits = func(liveEdges int) { live = append(live, liveEdges) }
+		res, err := RunFlat(g, opts, 1+i%4)
+		flatEdgeVisits = nil
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(live) != len(res.Trace) {
+			t.Fatalf("instance %d: %d edge phases vs %d traced iterations", i, len(live), len(res.Trace))
+		}
+		want := g.NumEdges()
+		for k, got := range live {
+			if got != want {
+				t.Fatalf("instance %d iteration %d: edge phase visits %d live edges, want %d uncovered",
+					i, k, got, want)
+			}
+			want = res.Trace[k].ActiveEdges
 		}
 	}
 }

@@ -61,7 +61,7 @@ func RunResidual(g *hypergraph.Hypergraph, opts Options, carry []float64) (*Resu
 	if opts.Exact {
 		return runLockstep(newRatNumeric(), g, opts, carry)
 	}
-	return runLockstep(floatNumeric{}, g, opts, carry)
+	return runLockstepFloat(g, opts, carry)
 }
 
 // BuildResidualNetwork constructs the bipartite CONGEST network for a

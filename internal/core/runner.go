@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"distcover/internal/hypergraph"
@@ -29,10 +28,18 @@ import (
 // shrink to fit the remaining slack; see initIterationZero. carry == nil is
 // the ordinary cold start.
 func runLockstep[T any](num numeric[T], g *hypergraph.Hypergraph, opts Options, carry []float64) (*Result, error) {
+	return runLockstepOn(newState(num, g, opts), carry)
+}
+
+// runLockstepOn is runLockstep over a caller-provided state, so the float64
+// production path can hand in pooled, arena-backed state (arena.go) while
+// the exact path keeps plain allocation. The state must be freshly
+// initialized for its graph; it is fully consumed by the run.
+func runLockstepOn[T any](st *state[T], carry []float64) (*Result, error) {
+	g, opts := st.g, st.opts
 	n := g.NumVertices()
 	f := g.Rank()
 	eps := opts.Epsilon
-	st := newState(num, g, opts)
 
 	globalAlpha := st.resolveAlphas(f, eps)
 	maxIter := opts.MaxIterations
@@ -427,13 +434,23 @@ func (st *state[T]) refreshVertexAggregates() {
 func (st *state[T]) fill(res *Result) {
 	num, g := st.num, st.g
 	res.InCover = append([]bool(nil), st.inCover...)
+	// Pre-count the cover so res.Cover is sized in one allocation; the
+	// ascending vertex scan appends it already sorted.
+	size := 0
+	for _, in := range st.inCover {
+		if in {
+			size++
+		}
+	}
+	if size > 0 {
+		res.Cover = make([]hypergraph.VertexID, 0, size)
+	}
 	for v, in := range st.inCover {
 		if in {
 			res.Cover = append(res.Cover, hypergraph.VertexID(v))
 			res.CoverWeight += g.Weight(hypergraph.VertexID(v))
 		}
 	}
-	sort.Slice(res.Cover, func(i, j int) bool { return res.Cover[i] < res.Cover[j] })
 	res.Dual = make([]float64, g.NumEdges())
 	for e := range res.Dual {
 		res.Dual[e] = num.Float(st.delta[e])

@@ -1,0 +1,8 @@
+//go:build race
+
+package distcover_test
+
+// raceEnabled reports whether the race detector is compiled in. Alloc-count
+// assertions skip under it: race mode makes sync.Pool drop a quarter of all
+// Puts on purpose, so pool-backed paths re-allocate nondeterministically.
+const raceEnabled = true

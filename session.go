@@ -24,15 +24,22 @@ type Delta struct {
 // Empty reports whether the delta changes nothing.
 func (d Delta) Empty() bool { return len(d.Weights) == 0 && len(d.Edges) == 0 }
 
-// vertexEdges converts the delta's edges to the hypergraph id type.
+// vertexEdges converts the delta's edges to the hypergraph id type. All
+// edges share one backing buffer (two allocations total, not one per edge —
+// this sits on the per-update hot path of every session).
 func (d Delta) vertexEdges() [][]hypergraph.VertexID {
 	out := make([][]hypergraph.VertexID, len(d.Edges))
+	total := 0
+	for _, e := range d.Edges {
+		total += len(e)
+	}
+	buf := make([]hypergraph.VertexID, 0, total)
 	for i, e := range d.Edges {
-		vs := make([]hypergraph.VertexID, len(e))
-		for j, v := range e {
-			vs[j] = hypergraph.VertexID(v)
+		start := len(buf)
+		for _, v := range e {
+			buf = append(buf, hypergraph.VertexID(v))
 		}
-		out[i] = vs
+		out[i] = buf[start:len(buf):len(buf)]
 	}
 	return out
 }

@@ -42,6 +42,9 @@ func telemetryTestInstance(t *testing.T) *distcover.Instance {
 // tracer), which exercises the option plumbing and the typed-nil-
 // interface guards.
 func TestTelemetryDisabledZeroAllocOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under -race: sync.Pool sheds Puts randomly")
+	}
 	inst := telemetryTestInstance(t)
 	const workers = 4
 	flatOpts := []distcover.Option{
