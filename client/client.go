@@ -12,6 +12,10 @@
 // run the real message protocol and report communication metrics.
 //
 //	res, err := c.Solve(ctx, inst, api.SolveOptions{Engine: api.EngineFlat})
+//
+// Against a coordinator ring (coverd -ring) call DiscoverRing once to
+// route requests straight to their owning coordinator instead of paying a
+// server-side forward hop; see ring.go.
 package client
 
 import (
@@ -22,9 +26,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"distcover"
+	"distcover/internal/ring"
 	"distcover/server/api"
 )
 
@@ -35,11 +41,17 @@ var ErrBusy = errors.New("client: server busy (queue full)")
 // ErrNotFound is returned for unknown job ids.
 var ErrNotFound = errors.New("client: not found")
 
-// Client talks to one coverd server. The zero value is not usable; create
-// with New.
+// Client talks to one coverd server — or, after DiscoverRing against a
+// coordinator ring, to the whole ring, routing each request straight to
+// the member that owns its key. The zero value is not usable; create with
+// New.
 type Client struct {
 	baseURL string
 	httpc   *http.Client
+
+	// Coordinator ring (nil ⇒ route everything to baseURL). See ring.go.
+	ringMu sync.RWMutex
+	ring   *ring.Ring
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -65,27 +77,43 @@ func EncodeInstance(inst *distcover.Instance) (json.RawMessage, error) {
 	return buf.Bytes(), nil
 }
 
-// Solve solves one instance synchronously.
+// Solve solves one instance synchronously. On a ring it is routed by the
+// instance's content hash straight to the owning coordinator.
 func (c *Client) Solve(ctx context.Context, inst *distcover.Instance, opts api.SolveOptions) (*api.SolveResult, error) {
 	raw, err := EncodeInstance(inst)
 	if err != nil {
 		return nil, err
 	}
-	return c.SolveRequest(ctx, api.SolveRequest{Instance: raw, Options: opts})
+	req := api.SolveRequest{Instance: raw, Options: opts}
+	var key string
+	if c.ringActive() {
+		key = inst.Hash() // the key SolveRequest would re-derive by decoding
+	}
+	var res api.SolveResult
+	if err := c.postRouted(ctx, key, "/v1/solve", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
 }
 
 // SolveRequest submits a prebuilt request (instance or ILP) synchronously.
 func (c *Client) SolveRequest(ctx context.Context, req api.SolveRequest) (*api.SolveResult, error) {
 	req.Async = false
+	var key string
+	if c.ringActive() {
+		key = solveKey(&req)
+	}
 	var res api.SolveResult
-	if err := c.post(ctx, "/v1/solve", req, &res); err != nil {
+	if err := c.postRouted(ctx, key, "/v1/solve", req, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
 }
 
 // SolveAsync submits a request for background execution and returns the
-// job id to poll with Job or Wait.
+// job id to poll with Job or Wait. Async jobs live on the member that
+// accepted them (a ring never forwards them), so submission and polling
+// both use the client's base URL.
 func (c *Client) SolveAsync(ctx context.Context, req api.SolveRequest) (string, error) {
 	req.Async = true
 	var acc api.JobAccepted
@@ -146,7 +174,9 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*api.
 
 // CreateSession opens an incremental solving session for the instance: the
 // server solves it once and keeps the primal/dual state so UpdateSession
-// batches re-solve only the residual uncovered part.
+// batches re-solve only the residual uncovered part. On a ring the create
+// goes to the client's base URL; the receiving member mints an id it owns,
+// and the later per-id calls route to that owner directly.
 func (c *Client) CreateSession(ctx context.Context, inst *distcover.Instance, opts api.SolveOptions) (*api.SessionInfo, error) {
 	raw, err := EncodeInstance(inst)
 	if err != nil {
@@ -160,38 +190,82 @@ func (c *Client) CreateSession(ctx context.Context, inst *distcover.Instance, op
 }
 
 // UpdateSession applies one delta batch to a session and returns what the
-// residual re-solve did together with the refreshed session state.
+// residual re-solve did together with the refreshed session state. On a
+// ring it is routed by session id to the owning coordinator.
 func (c *Client) UpdateSession(ctx context.Context, id string, delta api.SessionDelta) (*api.SessionUpdateResult, error) {
 	var res api.SessionUpdateResult
-	if err := c.post(ctx, "/v1/sessions/"+id+"/update", delta, &res); err != nil {
+	if err := c.postRouted(ctx, id, "/v1/sessions/"+id+"/update", delta, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
 }
 
-// Sessions lists all live sessions on the server, most recently used
-// first. After a server restart with a WAL directory, rehydrated sessions
-// appear here with Recovered set.
+// Sessions lists live sessions, most recently used first. After a server
+// restart with a WAL directory, rehydrated sessions appear here with
+// Recovered set. On a ring the lists of all reachable members are
+// concatenated (each member lists only the sessions it owns; unreachable
+// members are skipped), so the MRU order holds per member, not globally.
 func (c *Client) Sessions(ctx context.Context) ([]*api.SessionInfo, error) {
-	var list api.SessionList
-	if err := c.get(ctx, "/v1/sessions", &list); err != nil {
-		return nil, err
+	var all []*api.SessionInfo
+	var lastErr error
+	ok := false
+	for _, base := range c.allBases() {
+		var list api.SessionList
+		if err := c.getTo(ctx, base, "/v1/sessions", &list); err != nil {
+			if !retriable(err) || ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		ok = true
+		all = append(all, list.Sessions...)
 	}
-	return list.Sessions, nil
+	if !ok {
+		return nil, lastErr
+	}
+	return all, nil
 }
 
-// Session fetches the current state of a session.
+// Session fetches the current state of a session. On a ring it is routed
+// by session id to the owning coordinator.
 func (c *Client) Session(ctx context.Context, id string) (*api.SessionInfo, error) {
 	var info api.SessionInfo
-	if err := c.get(ctx, "/v1/sessions/"+id, &info); err != nil {
+	if err := c.getRouted(ctx, id, "/v1/sessions/"+id, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
 }
 
-// CloseSession deletes a session on the server.
+// CloseSession deletes a session on the server. On a ring it is routed by
+// session id to the owning coordinator, falling back across the remaining
+// members on transport errors (the server turns a misrouted delete into a
+// redirect, which the http.Client follows).
 func (c *Client) CloseSession(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.baseURL+"/v1/sessions/"+id, nil)
+	var lastErr error
+	for i, base := range c.bases(id) {
+		p := "/v1/sessions/" + id
+		if i > 0 {
+			p += "?hop=1" // fallback: serve locally, see getRouted
+		}
+		err := c.deleteTo(ctx, base, p)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		if i > 0 && errors.Is(err, ErrNotFound) {
+			lastErr = err // inconclusive off the live owner, see getRouted
+			continue
+		}
+		if !retriable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+func (c *Client) deleteTo(ctx context.Context, base, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+path, nil)
 	if err != nil {
 		return err
 	}
@@ -221,11 +295,15 @@ func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	return c.postTo(ctx, c.baseURL, path, body, out)
+}
+
+func (c *Client) postTo(ctx context.Context, base, path string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("client: marshal: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
@@ -234,7 +312,11 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	return c.getTo(ctx, c.baseURL, path, out)
+}
+
+func (c *Client) getTo(ctx context.Context, base, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
 		return err
 	}

@@ -393,6 +393,12 @@ var requiredMetricFamilies = []string{
 	"coverd_sessions_recovered_total",
 	"coverd_wal_records_total",
 	"coverd_wal_snapshots_total",
+	"coverd_ring_forwards_total",
+	"coverd_ring_redirects_total",
+	"coverd_ring_hops_total",
+	"coverd_ring_takeovers_total",
+	"coverd_ring_member_down_total",
+	"coverd_ring_members",
 	"coverd_solve_seconds",
 	"coverd_solve_phase_seconds",
 	"coverd_cluster_exchange_seconds",

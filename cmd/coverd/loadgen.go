@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,18 +36,26 @@ type loadgenConfig struct {
 	cacheSize  int
 }
 
-// runLoadgen hammers a coverd server with generated instances and prints
-// throughput, latency percentiles and outcome counts. Instances are drawn
-// round-robin from a pool smaller than the request count so the server's
-// result cache sees repeats.
+// runLoadgen hammers one or more coverd servers with generated instances
+// and prints throughput, latency percentiles and outcome counts. Instances
+// are drawn round-robin from a pool smaller than the request count so the
+// server's result cache sees repeats. cfg.target takes a comma-separated
+// coordinator list: when the targets form a ring (coverd -ring) every
+// request is routed to the instance's owning coordinator, otherwise the
+// workers round-robin across the targets.
 func runLoadgen(w io.Writer, cfg loadgenConfig) error {
 	if cfg.requests <= 0 || cfg.concurrency <= 0 || cfg.poolSize <= 0 {
 		return fmt.Errorf("loadgen: requests, concurrency and pool must be positive")
 	}
 
-	target := cfg.target
+	var targets []string
+	for _, t := range strings.Split(cfg.target, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
 	var selfHosted *server.Server
-	if target == "" {
+	if len(targets) == 0 {
 		selfHosted = server.New(server.Config{
 			Workers:    cfg.workers,
 			QueueDepth: cfg.queueDepth,
@@ -60,8 +69,8 @@ func runLoadgen(w io.Writer, cfg loadgenConfig) error {
 		httpSrv := &http.Server{Handler: selfHosted.Handler()}
 		go httpSrv.Serve(ln)
 		defer httpSrv.Close()
-		target = "http://" + ln.Addr().String()
-		fmt.Fprintf(w, "loadgen: self-hosted coverd at %s (workers=%d)\n", target, selfHosted.Workers())
+		targets = []string{"http://" + ln.Addr().String()}
+		fmt.Fprintf(w, "loadgen: self-hosted coverd at %s (workers=%d)\n", targets[0], selfHosted.Workers())
 	}
 
 	instances, err := generatePool(cfg)
@@ -77,10 +86,27 @@ func runLoadgen(w io.Writer, cfg loadgenConfig) error {
 		reqs[i] = api.SolveRequest{Instance: raw, Options: api.SolveOptions{Epsilon: cfg.eps}}
 	}
 
-	c := client.New(target)
 	ctx := context.Background()
-	if _, err := c.Health(ctx); err != nil {
-		return fmt.Errorf("loadgen: server not reachable at %s: %w", target, err)
+	clients := make([]*client.Client, len(targets))
+	for i, t := range targets {
+		clients[i] = client.New(t)
+		if _, err := clients[i].Health(ctx); err != nil {
+			return fmt.Errorf("loadgen: server not reachable at %s: %w", t, err)
+		}
+	}
+	// When the targets sit on a coordinator ring, one ring-aware client
+	// spreads the load by key ownership — the sharper spread, and it keeps
+	// each instance's result cached on exactly one member. Otherwise the
+	// workers round-robin across the target list.
+	ringAware, err := clients[0].DiscoverRing(ctx)
+	if err != nil {
+		return fmt.Errorf("loadgen: ring discovery at %s: %w", targets[0], err)
+	}
+	if ringAware {
+		fmt.Fprintf(w, "loadgen: ring of %d coordinators; routing by instance hash\n",
+			len(clients[0].RingMembers()))
+	} else if len(targets) > 1 {
+		fmt.Fprintf(w, "loadgen: %d standalone targets; round-robin\n", len(targets))
 	}
 
 	var (
@@ -103,6 +129,10 @@ func runLoadgen(w io.Writer, cfg loadgenConfig) error {
 	var wg sync.WaitGroup
 	for g := 0; g < cfg.concurrency; g++ {
 		wg.Add(1)
+		c := clients[0]
+		if !ringAware {
+			c = clients[g%len(clients)]
+		}
 		go func() {
 			defer wg.Done()
 			for i := range next {

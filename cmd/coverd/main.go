@@ -6,9 +6,9 @@
 //
 //	coverd [-addr :8080] [-workers N] [-queue N] [-cache N] [-max-batch N]
 //	       [-peer-listen addr] [-peers a,b,c] [-partition N]
-//	       [-wal-dir DIR] [-snapshot-interval 1m] [-peer-cache-budget BYTES]
-//	       [-log-level info] [-pprof]
-//	coverd -loadgen [-target URL] [-requests N] [-concurrency C]
+//	       [-ring a,b,c -ring-self a] [-wal-dir DIR] [-snapshot-interval 1m]
+//	       [-peer-cache-budget BYTES] [-log-level info] [-pprof]
+//	coverd -loadgen [-target URL[,URL...]] [-requests N] [-concurrency C]
 //	       [-pool K] [-gen kind] [-n N] [-m M] [-f F] [-eps ε] [-seed S]
 //
 // The first form serves until interrupted. With -peer-listen the daemon
@@ -18,10 +18,23 @@
 // "engine":"cluster"). Partitions beyond the peer count share one
 // multiplexed connection per peer (protocol v3). With -partition but no
 // -peers the cluster engine runs its partitions in-process over a
-// shared-memory exchanger — same partition plan, no sockets. The second form is a load generator that hammers a
+// shared-memory exchanger — same partition plan, no sockets.
+//
+// With -ring (the full static membership, identical on every member) and
+// -ring-self (this process's advertised host:port, which must appear in
+// the list), several coverd processes form a consistent-hash
+// coordinator ring: each instance hash and session id has exactly one
+// owner, misrouted requests are forwarded or redirected with a single-hop
+// guard, and when members share a -wal-dir root a surviving member takes
+// over a dead member's sessions by replaying its WAL subdirectory. See
+// distcover/server.Config and PROTOCOL.md for the wire semantics.
+//
+// The second form is a load generator that hammers a
 // coverd server with synthetic workloads from the library's instance
 // generators; with no -target it self-hosts a server in-process first, so
-// `coverd -loadgen` alone demonstrates the full stack. The instance pool
+// `coverd -loadgen` alone demonstrates the full stack. -target accepts a
+// comma-separated coordinator list and spreads load ring-aware across it.
+// The instance pool
 // (-pool) is smaller than -requests, so repeated submissions exercise the
 // result cache.
 package main
@@ -60,6 +73,10 @@ func main() {
 			"comma-separated peer-protocol addresses of other coverd processes; enables the \"cluster\" engine for solves and sessions")
 		partition = flag.Int("partition", 0,
 			"default partition count for cluster solves (0 = one per peer; without -peers a positive count runs the partitions in-process over shared memory)")
+		ringList = flag.String("ring", "",
+			"comma-separated host:port of ALL coordinator ring members (identical on every member; empty = standalone)")
+		ringSelf = flag.String("ring-self", "",
+			"with -ring: this process's own advertised host:port; must appear in -ring")
 		walDir = flag.String("wal-dir", "",
 			"make sessions durable: write-ahead log + snapshots in this directory, rehydrated on restart (empty = off)")
 		snapEvery = flag.Duration("snapshot-interval", time.Minute,
@@ -121,6 +138,12 @@ func main() {
 			peerAddrs = append(peerAddrs, a)
 		}
 	}
+	var ringMembers []string
+	for _, a := range strings.Split(*ringList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			ringMembers = append(ringMembers, a)
+		}
+	}
 	srv, err := server.Open(server.Config{
 		Workers:             *workers,
 		QueueDepth:          *queueN,
@@ -132,6 +155,8 @@ func main() {
 		ClusterPartitions:   *partition,
 		Logger:              logger,
 		WALDir:              *walDir,
+		RingSelf:            *ringSelf,
+		RingMembers:         ringMembers,
 		SnapshotInterval:    *snapEvery,
 	})
 	if err != nil {

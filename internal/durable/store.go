@@ -75,7 +75,7 @@ func Open(dir string) (*Store, *Recovery, error) {
 	if err := readSnapshotFile(filepath.Join(dir, snapFile), rec); err != nil {
 		return nil, nil, err
 	}
-	maxSeq, err := replayWAL(filepath.Join(dir, walFile), rec)
+	maxSeq, err := replayWAL(filepath.Join(dir, walFile), rec, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,6 +88,24 @@ func Open(dir string) (*Store, *Recovery, error) {
 		s.seq = maxSeq
 	}
 	return s, rec, nil
+}
+
+// Recover reads a WAL directory's snapshot and post-snapshot records
+// without opening the log for append and without truncating a torn tail —
+// a strictly read-only view. This is the takeover path: a ring
+// coordinator adopting the sessions of a dead member reads the dead
+// member's directory through Recover, so if that member restarts onto its
+// own directory it finds it exactly as its crash left it. A missing
+// directory is an empty state, not an error.
+func Recover(dir string) (*Recovery, error) {
+	rec := &Recovery{}
+	if err := readSnapshotFile(filepath.Join(dir, snapFile), rec); err != nil {
+		return nil, err
+	}
+	if _, err := replayWAL(filepath.Join(dir, walFile), rec, false); err != nil {
+		return nil, err
+	}
+	return rec, nil
 }
 
 // Append assigns the next sequence number to r, writes it to the WAL and
@@ -201,9 +219,11 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 // replayWAL reads records into rec, skipping those the snapshot already
-// covers, and truncates a torn tail in place. Returns the highest
-// sequence number seen.
-func replayWAL(path string, rec *Recovery) (uint64, error) {
+// covers. A torn tail is flagged and, when truncate is set (the
+// open-for-append path), cut from the file in place; the read-only
+// recovery path leaves the file untouched. Returns the highest sequence
+// number seen.
+func replayWAL(path string, rec *Recovery, truncate bool) (uint64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -255,7 +275,7 @@ func replayWAL(path string, rec *Recovery) (uint64, error) {
 			rec.Records = append(rec.Records, r)
 		}
 	}
-	if rec.TornTail {
+	if rec.TornTail && truncate {
 		if err := os.Truncate(path, good); err != nil {
 			return 0, fmt.Errorf("durable: truncate torn wal: %w", err)
 		}

@@ -1,0 +1,207 @@
+// Package ring implements the consistent-hash ring that routes instances
+// and sessions across a set of coverd coordinators.
+//
+// Every coordinator in a ring deployment is started with the same static
+// membership list (coverd -ring); each list entry is the coordinator's
+// advertised HTTP address and doubles as its hash identity. The ring places
+// VNodes virtual nodes per member on a 64-bit circle (positions are the
+// first 8 bytes of SHA-256 over "member\x00index", so any process that
+// knows the membership list reconstructs the identical ring — routing is a
+// pure function of the list, never of process state). A key — the
+// canonical Instance.Hash for solves, the session id for sessions — is
+// hashed to Probes positions on the circle; each probe resolves to the
+// virtual node that follows it clockwise, and the key is owned by the
+// member of the probe with the smallest clockwise distance (multi-probe
+// consistent hashing). Probing discounts members that happen to own long
+// arcs, which is what holds the balance bound at a modest vnode count.
+//
+// The two properties the rest of the system leans on, both enforced by the
+// package property tests:
+//
+//   - Determinism: every coordinator and every ring-aware client computes
+//     the same owner for the same key, with no coordination beyond the
+//     shared membership list.
+//   - Bounded movement: when a member joins or leaves, only keys on the
+//     hash arcs adjacent to that member's virtual nodes change owner; every
+//     other key keeps its owner. This is what makes failover cheap — a dead
+//     coordinator's sessions move to their next-arc owners and nothing else
+//     moves at all.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member used when callers
+// pass 0. 128 vnodes with Probes-way lookup keeps the maximum/minimum
+// key-share ratio across members within 1.3 (property-tested) while the
+// ring stays small enough that a full rebuild is microseconds.
+const DefaultVNodes = 128
+
+// Probes is the number of independent circle positions tried per key;
+// the probe closest (clockwise) to a virtual node wins. 3 probes cut the
+// share spread of successor-only lookup by ~3× (empirically ≤1.24
+// max/min over random memberships of 2..10, vs 1.36+ for one probe) at
+// the cost of two extra hashes per lookup.
+const Probes = 3
+
+// point is one virtual node: a position on the circle and the index of the
+// member that owns the arc ending at it.
+type point struct {
+	pos    uint64
+	member int32
+}
+
+// Ring is an immutable consistent-hash ring over a member list. Build one
+// with New; all methods are safe for concurrent use.
+type Ring struct {
+	vnodes  int
+	members []string // sorted, unique
+	points  []point  // sorted by (pos, member)
+}
+
+// New builds the ring for the given membership list with vnodes virtual
+// nodes per member (0 = DefaultVNodes). The input order does not matter
+// and duplicates are rejected: two processes given permutations of the
+// same list build identical rings.
+func New(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring: empty membership list")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("ring: duplicate member %q", m)
+		}
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		members: sorted,
+		points:  make([]point, 0, vnodes*len(sorted)),
+	}
+	var buf [8]byte
+	for mi, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			sum := sha256.Sum256(append(append([]byte(m), 0), buf[:]...))
+			r.points = append(r.points, point{
+				pos:    binary.BigEndian.Uint64(sum[:8]),
+				member: int32(mi),
+			})
+		}
+	}
+	// Position collisions are vanishingly rare (64-bit positions) but the
+	// tie-break must still be deterministic: lower member index wins.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// hashProbe maps (key, probe index) onto the circle.
+func hashProbe(key string, probe int) uint64 {
+	buf := make([]byte, 0, len(key)+2)
+	buf = append(buf, key...)
+	buf = append(buf, 0, byte(probe))
+	sum := sha256.Sum256(buf)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member that owns key under the full membership list:
+// of the Probes probe positions, the one with the smallest clockwise
+// distance to its successor virtual node wins (earlier probe on ties, so
+// the choice is deterministic).
+func (r *Ring) Owner(key string) string {
+	best, bestDist := -1, uint64(0)
+	for p := 0; p < Probes; p++ {
+		h := hashProbe(key, p)
+		i := r.firstPoint(h)
+		// uint64 subtraction wraps, which is exactly mod-2^64 clockwise
+		// distance when firstPoint wrapped past the top of the circle.
+		if d := r.points[i].pos - h; best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return r.members[r.points[best].member]
+}
+
+// OwnerLive returns the member that owns key when the members for which
+// down reports true are excluded: each probe's walk continues clockwise
+// past virtual nodes of down members before the probes compete, which
+// routes identically to a ring rebuilt without the down members — a down
+// member's keys fall to their next-probe or next-arc owners and every
+// other key keeps its owner (the same bounded-movement guarantee as an
+// actual leave, property-tested). Returns "" when every member is down.
+// A nil down means no member is down.
+func (r *Ring) OwnerLive(key string, down func(member string) bool) string {
+	if down == nil {
+		return r.Owner(key)
+	}
+	// Member-level memoization keeps the scan O(points) per probe even
+	// when most of the ring is down.
+	status := make(map[int32]bool, len(r.members))
+	isDown := func(m int32) bool {
+		d, seen := status[m]
+		if !seen {
+			d = down(r.members[m])
+			status[m] = d
+		}
+		return d
+	}
+	best, bestDist := int32(-1), uint64(0)
+	for p := 0; p < Probes; p++ {
+		h := hashProbe(key, p)
+		start := r.firstPoint(h)
+		for i := 0; i < len(r.points); i++ {
+			pt := r.points[(start+i)%len(r.points)]
+			if isDown(pt.member) {
+				continue
+			}
+			if d := pt.pos - h; best == -1 || d < bestDist {
+				best, bestDist = pt.member, d
+			}
+			break
+		}
+	}
+	if best == -1 {
+		return ""
+	}
+	return r.members[best]
+}
+
+// firstPoint returns the index of the first virtual node at or clockwise
+// after pos, wrapping past the top of the circle.
+func (r *Ring) firstPoint(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Members returns the sorted membership list (a copy).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Contains reports whether member is on the ring.
+func (r *Ring) Contains(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	return i < len(r.members) && r.members[i] == member
+}

@@ -1,0 +1,194 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterministicAcrossProcesses: routing must be a pure function of
+// the membership set. Rings built from arbitrary permutations of the same
+// list (as two independently started coordinators would) agree on the
+// owner of every key, and so does a ring-aware client that learned the
+// membership from GET /v1/ring.
+func TestRingDeterministicAcrossProcesses(t *testing.T) {
+	members := []string{
+		"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080",
+		"10.0.0.4:8080", "10.0.0.5:8080",
+	}
+	ref, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		other, err := New(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 5000; k++ {
+			key := fmt.Sprintf("key-%d-%d", trial, rng.Int63())
+			if got, want := other.Owner(key), ref.Owner(key); got != want {
+				t.Fatalf("trial %d key %s: owner %s on shuffled ring, %s on reference", trial, key, got, want)
+			}
+		}
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+}
+
+// TestRingBalance: with the default 128 virtual nodes per member, the key
+// share of the most loaded member stays within 1.3× of the least loaded
+// one, across several member counts and address shapes.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("coord-%d.cover.internal:8080", i)
+		}
+		r, err := New(members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int, n)
+		rng := rand.New(rand.NewSource(int64(7 + n)))
+		const keys = 200_000
+		for k := 0; k < keys; k++ {
+			counts[r.Owner(fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64()))]++
+		}
+		minC, maxC := keys, 0
+		for _, m := range members {
+			c := counts[m]
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if minC == 0 {
+			t.Fatalf("%d members: a member owns no keys at all", n)
+		}
+		if ratio := float64(maxC) / float64(minC); ratio > 1.3 {
+			t.Fatalf("%d members: max/min key share %.3f exceeds 1.3 (counts %v)", n, ratio, counts)
+		}
+	}
+}
+
+// TestRingBoundedMovement: across 1000 random join/leave transitions, a
+// key changes owner only when its arc is affected — on a join the only
+// allowed new owner is the joining member, on a leave the only keys that
+// move are those the leaving member owned. Everything else stays put.
+func TestRingBoundedMovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	members := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		members[fmt.Sprintf("seed-%d:8080", i)] = true
+	}
+	list := func() []string {
+		out := make([]string, 0, len(members))
+		for m := range members {
+			out = append(out, m)
+		}
+		return out
+	}
+	keys := make([]string, 2000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x", rng.Uint64())
+	}
+	cur, err := New(list(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make([]string, len(keys))
+	for i, k := range keys {
+		owners[i] = cur.Owner(k)
+	}
+	nextID := 4
+	for trans := 0; trans < 1000; trans++ {
+		join := len(members) <= 1 || (len(members) < 12 && rng.Intn(2) == 0)
+		var changed string
+		if join {
+			changed = fmt.Sprintf("member-%d:8080", nextID)
+			nextID++
+			members[changed] = true
+		} else {
+			ms := list()
+			changed = ms[rng.Intn(len(ms))]
+			delete(members, changed)
+		}
+		next, err := New(list(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			newOwner := next.Owner(k)
+			if newOwner == owners[i] {
+				continue
+			}
+			if join && newOwner != changed {
+				t.Fatalf("transition %d (join %s): key %s moved %s→%s, not to the joiner",
+					trans, changed, k, owners[i], newOwner)
+			}
+			if !join && owners[i] != changed {
+				t.Fatalf("transition %d (leave %s): key %s moved %s→%s but its old owner stayed",
+					trans, changed, k, owners[i], newOwner)
+			}
+			owners[i] = newOwner
+		}
+		cur = next
+	}
+}
+
+// TestRingOwnerLiveMatchesLeave: excluding down members at lookup time must
+// route exactly like a ring rebuilt without them — the takeover owner a
+// survivor computes is the owner the key would have had if the dead
+// coordinator had never been on the ring.
+func TestRingOwnerLiveMatchesLeave(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	full, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		down := map[string]bool{}
+		for _, m := range members {
+			if rng.Intn(3) == 0 {
+				down[m] = true
+			}
+		}
+		if len(down) == len(members) {
+			delete(down, members[rng.Intn(len(members))])
+		}
+		var alive []string
+		for _, m := range members {
+			if !down[m] {
+				alive = append(alive, m)
+			}
+		}
+		reduced, err := New(alive, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 2000; k++ {
+			key := fmt.Sprintf("s-%d-%d", trial, k)
+			got := full.OwnerLive(key, func(m string) bool { return down[m] })
+			if want := reduced.Owner(key); got != want {
+				t.Fatalf("trial %d key %s: OwnerLive=%s, rebuilt ring says %s (down %v)", trial, key, got, want, down)
+			}
+		}
+	}
+	if got := full.OwnerLive("x", func(string) bool { return true }); got != "" {
+		t.Fatalf("all-down ring returned owner %q, want empty", got)
+	}
+	if got, want := full.OwnerLive("x", nil), full.Owner("x"); got != want {
+		t.Fatalf("nil down: OwnerLive %q != Owner %q", got, want)
+	}
+}

@@ -9,6 +9,8 @@
 package api
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -131,6 +133,22 @@ type ILPConstraint struct {
 type ILPSpec struct {
 	Weights     []int64         `json:"weights"`
 	Constraints []ILPConstraint `json:"constraints"`
+}
+
+// KeyILP returns the canonical content key of an ILP spec — the identity
+// coverd caches ILP results under and the routing key a coordinator ring
+// hashes to pick the request's owner. json.Marshal of the spec struct is
+// deterministic (fixed field order, ordered slices), so this is canonical
+// up to the textual program representation. Server and ring-aware client
+// must agree on it, which is why it lives in the shared wire package.
+func KeyILP(spec *ILPSpec) string {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		// Marshal of plain ints/slices cannot fail; guard anyway.
+		return ""
+	}
+	sum := sha256.Sum256(append([]byte("distcover/ilp/v1\n"), data...))
+	return hex.EncodeToString(sum[:])
 }
 
 // SolveRequest submits one problem. Exactly one of Instance and ILP must be
@@ -287,6 +305,23 @@ type Health struct {
 	// SessionBytes is the estimated total heap footprint of live sessions,
 	// the quantity the server's byte-budgeted eviction bounds.
 	SessionBytes int64 `json:"session_bytes"`
+}
+
+// RingInfo is the GET /v1/ring response: the coordinator ring this server
+// belongs to. A ring-aware client rebuilds the identical consistent-hash
+// ring from Members+VNodes and routes requests straight to their owners;
+// routing is a pure function of this response, so any member's answer
+// works. Enabled false means the server runs standalone (Members empty)
+// and clients should keep using their configured base URL.
+type RingInfo struct {
+	Enabled bool `json:"enabled"`
+	// Self is the advertised address of the answering coordinator (its
+	// identity on the ring).
+	Self string `json:"self,omitempty"`
+	// Members is the full static membership list, sorted.
+	Members []string `json:"members,omitempty"`
+	// VNodes is the virtual-node count per member used to build the ring.
+	VNodes int `json:"vnodes,omitempty"`
 }
 
 // Error is the JSON error envelope for non-2xx responses.

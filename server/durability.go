@@ -48,7 +48,7 @@ var errSnapshotBusy = errors.New("coverd: snapshot skipped, commits in flight")
 // starts the snapshot loop. Called from Open before the worker pool and
 // HTTP routes exist, so recovery is single-threaded.
 func (s *Server) openWAL() error {
-	store, rec, err := durable.Open(s.cfg.WALDir)
+	store, rec, err := durable.Open(s.walDir())
 	if err != nil {
 		return fmt.Errorf("coverd: wal: %w", err)
 	}
@@ -69,84 +69,121 @@ func (s *Server) openWAL() error {
 // order. Individual unrecoverable sessions are logged and skipped rather
 // than failing startup — the rest of the state is still worth serving.
 func (s *Server) recoverSessions(rec *durable.Recovery) {
-	recovered := 0
+	entries := s.foldRecovery(rec, nil)
+	for _, e := range entries {
+		s.installRecovered(e)
+	}
+	if len(entries) > 0 && s.cfg.Logger != nil {
+		s.cfg.Logger.Info("coverd: recovered sessions from wal",
+			"dir", s.walDir(), "sessions", s.sessions.len(),
+			"snapshot_seq", rec.SnapshotSeq, "replayed_records", len(rec.Records))
+	}
+}
+
+// foldRecovery turns a recovery into detached session entries without
+// touching the registry: snapshot sessions first, then post-snapshot
+// records in append order. filter (nil = accept all) selects which
+// session ids are wanted — the ring takeover path uses it to adopt only
+// sessions whose ownership fell to this coordinator; records for
+// unselected ids are skipped silently. Callers publish the returned
+// entries via installRecovered; keeping the fold detached means a
+// concurrent reader can never observe a partially replayed session.
+func (s *Server) foldRecovery(rec *durable.Recovery, filter func(id string) bool) []*sessionEntry {
+	want := func(id string) bool { return filter == nil || filter(id) }
+	byID := make(map[string]*sessionEntry)
+	var order []*sessionEntry
 	for _, sr := range rec.Sessions {
-		if s.restoreSession(sr) {
-			recovered++
+		if !want(sr.ID) {
+			continue
+		}
+		if e, ok := s.restoreSession(sr); ok {
+			byID[e.id] = e
+			order = append(order, e)
 		}
 	}
 	for _, r := range rec.Records {
 		switch r.Type {
 		case durable.RecCreate:
-			if _, ok := s.sessions.get(r.ID); ok {
+			if !want(r.ID) {
+				continue
+			}
+			if _, ok := byID[r.ID]; ok {
 				continue // already restored from the snapshot
 			}
-			if s.replayCreate(r) {
-				recovered++
+			if e, ok := s.replayCreate(r); ok {
+				byID[e.id] = e
+				order = append(order, e)
 			}
 		case durable.RecUpdate:
-			e, ok := s.sessions.get(r.ID)
+			e, ok := byID[r.ID]
 			if !ok {
-				s.warn("coverd: wal replay: update for unknown session", "session", r.ID, "seq", r.Seq)
+				if want(r.ID) {
+					s.warn("coverd: wal replay: update for unknown session", "session", r.ID, "seq", r.Seq)
+				}
 				continue
 			}
 			if _, err := e.sess.Update(r.Delta); err != nil {
 				s.warn("coverd: wal replay: update failed", "session", r.ID, "seq", r.Seq, "err", err)
-				continue
 			}
-			s.sessions.refresh(e)
 		case durable.RecDelete:
-			s.sessions.remove(r.ID)
+			if e, ok := byID[r.ID]; ok {
+				delete(byID, r.ID)
+				e.sess.Close()
+			}
 		}
 	}
-	if recovered > 0 && s.cfg.Logger != nil {
-		s.cfg.Logger.Info("coverd: recovered sessions from wal",
-			"dir", s.cfg.WALDir, "sessions", s.sessions.len(),
-			"snapshot_seq", rec.SnapshotSeq, "replayed_records", len(rec.Records))
+	out := make([]*sessionEntry, 0, len(byID))
+	for _, e := range order {
+		if byID[e.id] == e {
+			out = append(out, e)
+		}
 	}
+	return out
 }
 
 // restoreSession rebuilds one snapshot session without re-solving it.
-func (s *Server) restoreSession(sr durable.SessionRecord) bool {
+func (s *Server) restoreSession(sr durable.SessionRecord) (*sessionEntry, bool) {
 	opts, libOpts, peers, ok := s.recoveryOptions(sr.ID, sr.Options)
 	if !ok {
-		return false
+		return nil, false
 	}
 	sess, err := distcover.RestoreSession(sr.Snapshot, libOpts...)
 	if err != nil {
 		s.warn("coverd: recovery: restore failed", "session", sr.ID, "err", err)
-		return false
+		return nil, false
 	}
-	s.installRecovered(sr.ID, sess, opts, peers, "")
-	return true
+	if len(peers) > 0 {
+		sess.SetClusterPeers(peers...)
+	}
+	return &sessionEntry{id: sr.ID, sess: sess, opts: opts, recovered: true}, true
 }
 
 // replayCreate rebuilds a session whose create record survived in the WAL
 // (it was created after the last snapshot): the initial solve reruns.
-func (s *Server) replayCreate(r durable.Record) bool {
+func (s *Server) replayCreate(r durable.Record) (*sessionEntry, bool) {
 	opts, libOpts, peers, ok := s.recoveryOptions(r.ID, r.Options)
 	if !ok {
-		return false
+		return nil, false
 	}
 	inst, err := distcover.ReadInstance(bytes.NewReader(r.Instance))
 	if err != nil {
 		s.warn("coverd: recovery: bad instance in create record", "session", r.ID, "err", err)
-		return false
+		return nil, false
 	}
 	sess, err := distcover.NewSession(inst, libOpts...)
 	if err != nil {
 		s.warn("coverd: recovery: initial solve failed", "session", r.ID, "err", err)
-		return false
+		return nil, false
 	}
-	s.installRecovered(r.ID, sess, opts, peers, inst.Hash())
-	return true
-}
-
-func (s *Server) installRecovered(id string, sess *distcover.Session, opts api.SolveOptions, peers []string, baseHash string) {
 	if len(peers) > 0 {
 		sess.SetClusterPeers(peers...)
 	}
-	s.sessions.addEntry(&sessionEntry{id: id, sess: sess, opts: opts, recovered: true, baseHash: baseHash})
+	return &sessionEntry{id: r.ID, sess: sess, opts: opts, recovered: true, baseHash: inst.Hash()}, true
+}
+
+// installRecovered publishes a folded entry to the registry.
+func (s *Server) installRecovered(e *sessionEntry) {
+	s.sessions.addEntry(e)
 	s.metrics.recordSessionRecovered()
 }
 

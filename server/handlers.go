@@ -20,6 +20,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -55,6 +56,9 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req api.SolveRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if s.ringst != nil && s.ringSolveRoute(w, r, &req) {
 		return
 	}
 	j, err := s.buildJob(req)
@@ -199,7 +203,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "session solve failed: %s", st.Error)
 		return
 	}
-	entry := &sessionEntry{id: newJobID(), sess: j.newSess, opts: req.Options, baseHash: inst.Hash()}
+	// With a ring, the id is rejection-sampled until this coordinator owns
+	// it: session ownership becomes a pure function of the id, so every
+	// member and ring-aware client can route to it with no directory.
+	entry := &sessionEntry{id: s.ringSessionID(), sess: j.newSess, opts: req.Options, baseHash: inst.Hash()}
 	if err := s.logCreateAndRegister(entry, req.Instance); err != nil {
 		// Not durable ⇒ not created: acknowledging a session the WAL does
 		// not know about would silently drop it on the next restart.
@@ -240,9 +247,16 @@ func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.sessions.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	entry, ok := s.sessions.get(id)
+	if !ok && s.ringst != nil {
+		if s.ringSessionMiss(w, r, id, nil) {
+			return
+		}
+		entry, ok = s.sessions.get(id) // takeover may have installed it
+	}
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, entry.info())
@@ -252,13 +266,22 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 // residual re-solve touches only the uncovered new edges, so updates are
 // cheap; concurrent updates to one session serialize inside the session.
 func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.sessions.get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
-		return
-	}
+	id := r.PathValue("id")
+	// Decode before the registry lookup: a misrouted update is proxied to
+	// its owner, and the proxy needs the parsed body.
 	var d api.SessionDelta
 	if !s.decode(w, r, &d) {
+		return
+	}
+	entry, ok := s.sessions.get(id)
+	if !ok && s.ringst != nil {
+		if s.ringSessionMiss(w, r, id, &d) {
+			return
+		}
+		entry, ok = s.sessions.get(id) // takeover may have installed it
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
 	delta := distcover.Delta{Weights: d.Weights, Edges: d.Edges}
@@ -314,6 +337,12 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	entry, ok := s.sessions.get(id)
+	if !ok && s.ringst != nil {
+		if s.ringSessionMiss(w, r, id, nil) {
+			return
+		}
+		entry, ok = s.sessions.get(id)
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
@@ -359,7 +388,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ringMembers := 0
+	if s.ringst != nil {
+		ringMembers = len(s.ringst.ring.Members())
+	}
 	s.metrics.writePrometheus(w, []gauge{
+		{"coverd_ring_members", "Coordinator ring size (0 = standalone).", float64(ringMembers)},
 		{"coverd_queue_depth", "Jobs waiting in the bounded queue.", float64(s.queue.depth())},
 		{"coverd_queue_capacity", "Configured queue bound.", float64(s.queue.capacity())},
 		{"coverd_workers", "Configured worker pool size.", float64(s.cfg.Workers)},

@@ -93,6 +93,11 @@ type Metrics struct {
 	sessionsRecov   int64 // sessions rehydrated from the WAL
 	walRecords      int64
 	walSnapshots    int64
+	ringForwards    int64   // requests proxied to their ring owner
+	ringRedirects   int64   // 307s pointing clients at the owner
+	ringHops        int64   // hop-marked arrivals (forwarded/redirected here once)
+	ringTakeovers   int64   // sessions adopted from a dead member's WAL
+	ringDowns       int64   // times a ring member was marked unreachable
 	bucketCounts    []int64 // parallel to latencyBuckets, non-cumulative
 	latencySum      float64 // seconds
 	latencyCount    int64
@@ -293,6 +298,36 @@ func (m *Metrics) recordWALSnapshot() {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) recordRingForward() {
+	m.mu.Lock()
+	m.ringForwards++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordRingRedirect() {
+	m.mu.Lock()
+	m.ringRedirects++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordRingHop() {
+	m.mu.Lock()
+	m.ringHops++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordRingTakeover() {
+	m.mu.Lock()
+	m.ringTakeovers++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordRingDown() {
+	m.mu.Lock()
+	m.ringDowns++
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of the counters, used by tests and by
 // operators who prefer JSON over the Prometheus endpoint.
 type Snapshot struct {
@@ -310,6 +345,11 @@ type Snapshot struct {
 	SessionsRecov   int64   `json:"sessions_recovered"`
 	WALRecords      int64   `json:"wal_records"`
 	WALSnapshots    int64   `json:"wal_snapshots"`
+	RingForwards    int64   `json:"ring_forwards"`
+	RingRedirects   int64   `json:"ring_redirects"`
+	RingHops        int64   `json:"ring_hops"`
+	RingTakeovers   int64   `json:"ring_takeovers"`
+	RingDowns       int64   `json:"ring_member_down"`
 	LatencySum      float64 `json:"latency_sum_seconds"`
 	LatencyCount    int64   `json:"latency_count"`
 
@@ -336,6 +376,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		SessionsRecov:   m.sessionsRecov,
 		WALRecords:      m.walRecords,
 		WALSnapshots:    m.walSnapshots,
+		RingForwards:    m.ringForwards,
+		RingRedirects:   m.ringRedirects,
+		RingHops:        m.ringHops,
+		RingTakeovers:   m.ringTakeovers,
+		RingDowns:       m.ringDowns,
 		LatencySum:      m.latencySum,
 		LatencyCount:    m.latencyCount,
 	}
@@ -441,6 +486,11 @@ func (m *Metrics) writePrometheus(w io.Writer, gauges []gauge) {
 	counter("coverd_sessions_recovered_total", "Sessions rehydrated from the write-ahead log at startup.", s.SessionsRecov)
 	counter("coverd_wal_records_total", "Records appended to the session write-ahead log.", s.WALRecords)
 	counter("coverd_wal_snapshots_total", "WAL compaction snapshots written.", s.WALSnapshots)
+	counter("coverd_ring_forwards_total", "Misrouted requests proxied to their ring owner.", s.RingForwards)
+	counter("coverd_ring_redirects_total", "Misrouted bodyless requests redirected (307) to their ring owner.", s.RingRedirects)
+	counter("coverd_ring_hops_total", "Hop-marked arrivals: requests another ring member forwarded or redirected here.", s.RingHops)
+	counter("coverd_ring_takeovers_total", "Sessions adopted from a dead ring member's WAL directory.", s.RingTakeovers)
+	counter("coverd_ring_member_down_total", "Times a ring member was marked unreachable.", s.RingDowns)
 
 	fmt.Fprintf(w, "# HELP coverd_solve_seconds Solver wall time of successful solves.\n# TYPE coverd_solve_seconds histogram\n")
 	cumulative := int64(0)

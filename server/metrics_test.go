@@ -31,6 +31,12 @@ var documentedMetricFamilies = map[string]string{
 	"coverd_sessions_recovered_total":         "counter",
 	"coverd_wal_records_total":                "counter",
 	"coverd_wal_snapshots_total":              "counter",
+	"coverd_ring_forwards_total":              "counter",
+	"coverd_ring_redirects_total":             "counter",
+	"coverd_ring_hops_total":                  "counter",
+	"coverd_ring_takeovers_total":             "counter",
+	"coverd_ring_member_down_total":           "counter",
+	"coverd_ring_members":                     "gauge",
 	"coverd_solve_seconds":                    "histogram",
 	"coverd_solve_phase_seconds":              "histogram",
 	"coverd_cluster_exchange_seconds":         "histogram",

@@ -28,9 +28,6 @@ package server
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -88,7 +85,18 @@ type Config struct {
 	// batches and deletes are logged to a write-ahead log in this directory
 	// before they are acknowledged, and Open rehydrates the surviving
 	// sessions on restart (coverd -wal-dir). Empty disables durability.
+	// With a ring configured this is the SHARED root: each member logs
+	// under its own subdirectory (see walDir), which is what lets a
+	// takeover coordinator replay a dead member's sessions.
 	WALDir string
+	// RingSelf and RingMembers put this server on a consistent-hash
+	// coordinator ring (coverd -ring-self/-ring): RingMembers is the full
+	// static membership list (every member gets the same one), RingSelf is
+	// this server's advertised address and must appear in the list. Both
+	// empty disables the ring. See server/ring.go for routing, forwarding
+	// and takeover semantics.
+	RingSelf    string
+	RingMembers []string
 	// SnapshotInterval is how often the WAL is compacted into a snapshot
 	// file (default 1m when WALDir is set; coverd -snapshot-interval).
 	SnapshotInterval time.Duration
@@ -153,6 +161,9 @@ type Server struct {
 	commitMu sync.RWMutex
 	snapStop chan struct{}
 	snapDone chan struct{}
+
+	// Coordinator ring (nil ⇒ standalone). See server/ring.go.
+	ringst *ringState
 }
 
 // New builds a Server and starts its worker pool. It panics if the
@@ -181,6 +192,13 @@ func Open(cfg Config) (*Server, error) {
 	s.pool = newWorkerPool(cfg.Workers, s.queue, s.cache, s.metrics)
 	s.pool.cluster = clusterSettings{peers: cfg.ClusterPeers, partitions: cfg.ClusterPartitions}
 	s.pool.logger = cfg.Logger
+	if cfg.RingSelf != "" || len(cfg.RingMembers) > 0 {
+		st, err := newRingState(cfg.RingSelf, cfg.RingMembers)
+		if err != nil {
+			return nil, err
+		}
+		s.ringst = st
+	}
 	if cfg.WALDir != "" {
 		if err := s.openWAL(); err != nil {
 			return nil, err
@@ -192,8 +210,20 @@ func Open(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler serving the coverd API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the coverd API. On a ring
+// member it counts hop-marked arrivals (requests another member forwarded
+// or redirected here) before dispatch.
+func (s *Server) Handler() http.Handler {
+	if s.ringst == nil {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ringHopped(r) {
+			s.metrics.recordRingHop()
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Metrics exposes the server's metrics registry (tests, embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -252,24 +282,11 @@ func (s *Server) buildJob(req api.SolveRequest) (*job, error) {
 		if err := ilp.Validate(); err != nil {
 			return nil, err
 		}
-		hash := hashILP(req.ILP)
+		hash := api.KeyILP(req.ILP)
 		return newJob(nil, ilp, req.Options, hash, hash+"|"+req.Options.Fingerprint()), nil
 	default:
 		return nil, fmt.Errorf("request must set instance or ilp")
 	}
-}
-
-// hashILP content-hashes an ILP spec. json.Marshal of the spec struct is
-// deterministic (fixed field order, ordered slices), so this is canonical
-// up to the textual program representation.
-func hashILP(spec *api.ILPSpec) string {
-	data, err := json.Marshal(spec)
-	if err != nil {
-		// Marshal of plain ints/slices cannot fail; guard anyway.
-		return ""
-	}
-	sum := sha256.Sum256(append([]byte("distcover/ilp/v1\n"), data...))
-	return hex.EncodeToString(sum[:])
 }
 
 // lookupCache serves a request from the cache if allowed, recording
